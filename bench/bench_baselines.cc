@@ -1,0 +1,73 @@
+// Baseline comparison (the paper's §1/§8 claim): the perfect typing —
+// like the prior perfect-summary structures, strong DataGuides [10] and
+// representative objects [15] — grows with the data's irregularity,
+// sometimes approaching the size of the data itself, while the paper's
+// approximate typing stays at a chosen budget with bounded defect.
+//
+// Prints, for every dataset: #objects, strong-DataGuide nodes, full
+// representative-object classes, perfect types, and the 6-type
+// approximate typing's defect.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/dataguide.h"
+#include "baseline/rep_objects.h"
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "gen/table1.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace schemex;  // NOLINT
+
+void AddRow(util::TablePrinter* table, const std::string& name,
+            const graph::DataGraph& g, size_t intended) {
+  auto guide = baseline::BuildStrongDataGuide(g, /*max_nodes=*/200000);
+  std::string guide_nodes =
+      guide.ok() ? util::StringPrintf("%zu", guide->NumNodes()) : "blow-up";
+  size_t ro = baseline::FullRepObjectClassCount(g);
+
+  extract::ExtractorOptions opt;
+  opt.target_num_types = intended;
+  auto r = extract::SchemaExtractor(opt).Run(g);
+  if (!r.ok()) {
+    std::cerr << name << ": " << r.status() << "\n";
+    return;
+  }
+  table->AddRow({name, util::StringPrintf("%zu", g.NumComplexObjects()),
+                 util::StringPrintf("%zu", g.NumEdges()), guide_nodes,
+                 util::StringPrintf("%zu", ro),
+                 util::StringPrintf("%zu", r->num_perfect_types),
+                 util::StringPrintf("%zu", intended),
+                 util::StringPrintf("%zu", r->defect.defect())});
+}
+
+int Run() {
+  std::cout << "== Baselines: perfect summaries vs approximate typing ==\n";
+  util::TablePrinter table;
+  table.SetHeader({"dataset", "complex objs", "links", "DataGuide nodes",
+                   "RO classes", "perfect types", "approx types",
+                   "approx defect"});
+  for (const gen::Table1Entry& entry : gen::Table1Datasets()) {
+    auto g = gen::MakeTable1Database(entry);
+    if (!g.ok()) continue;
+    AddRow(&table, entry.db_name, *g, entry.intended_types);
+  }
+  auto dbg = gen::MakeDbgDataset();
+  if (dbg.ok()) AddRow(&table, "DBG", *dbg, 6);
+  table.Print(std::cout);
+  std::cout
+      << "\nReading: DataGuide/RO (outgoing-path summaries) and the "
+         "perfect typing all grow with irregularity —\non the general-"
+         "graph databases the perfect typing approaches one type per "
+         "object (the paper's\n\"roughly the size of the data\") while "
+         "the approximate typing stays at the chosen budget.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,96 @@
+// Example 5.3 ablation: how the choice of weighted distance function
+// (psi1..psi5) moves the cut-off points between "merge the small outlier
+// type into the big one", "stop classifying the outlier", and "displace
+// the medium type". The paper observes that "the two cut-off points
+// depend on the distance function that is chosen" — this bench prints
+// the chosen step for each psi across a sweep of outlier widths k.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/distance.h"
+#include "cluster/greedy.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace schemex;  // NOLINT
+using cluster::PsiKind;
+using typing::TypedLink;
+using typing::TypeSignature;
+using typing::TypingProgram;
+
+/// Builds Example 5.3's three types over a shared label space:
+///   t1 = a, b                      (100000 objects)
+///   t2 = a, b, c                   (1000 objects)
+///   t3 = a, b, l1..lk              (100 objects)
+TypingProgram MakeProgram(graph::LabelInterner* labels, size_t k) {
+  TypingProgram p;
+  graph::LabelId a = labels->Intern("a");
+  graph::LabelId b = labels->Intern("b");
+  graph::LabelId c = labels->Intern("c");
+  p.AddType("t1", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(a), TypedLink::OutAtomic(b)}));
+  p.AddType("t2",
+            TypeSignature::FromLinks({TypedLink::OutAtomic(a),
+                                      TypedLink::OutAtomic(b),
+                                      TypedLink::OutAtomic(c)}));
+  std::vector<TypedLink> t3 = {TypedLink::OutAtomic(a),
+                               TypedLink::OutAtomic(b)};
+  for (size_t i = 0; i < k; ++i) {
+    t3.push_back(TypedLink::OutAtomic(
+        labels->Intern(util::StringPrintf("l%zu", i))));
+  }
+  p.AddType("t3", TypeSignature::FromLinks(std::move(t3)));
+  return p;
+}
+
+std::string StepName(const cluster::MergeStep& step) {
+  const char* src = step.source == 1 ? "t2" : "t3";
+  if (step.dest == cluster::kEmptyType) {
+    return util::StringPrintf("%s -> empty", src);
+  }
+  return util::StringPrintf("%s -> t%d", src, step.dest + 1);
+}
+
+int Run() {
+  const std::vector<uint32_t> weights = {100000, 1000, 100};
+  const std::vector<PsiKind> kinds = {PsiKind::kSimpleD, PsiKind::kPsi1,
+                                      PsiKind::kPsi2, PsiKind::kPsi3,
+                                      PsiKind::kPsi4, PsiKind::kPsi5};
+  std::cout << "== Example 5.3: cut-off behaviour vs distance function ==\n"
+            << "First greedy step from 3 types to 2, per outlier width k\n\n";
+  util::TablePrinter table;
+  std::vector<std::string> header = {"k"};
+  for (PsiKind kind : kinds) header.emplace_back(cluster::PsiKindName(kind));
+  table.SetHeader(header);
+
+  for (size_t k : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> row = {util::StringPrintf("%zu", k)};
+    for (PsiKind kind : kinds) {
+      graph::LabelInterner labels;
+      TypingProgram p = MakeProgram(&labels, k);
+      cluster::ClusteringOptions opt;
+      opt.psi = kind;
+      opt.target_num_types = 2;
+      auto r = cluster::ClusterTypes(p, weights, opt);
+      if (!r.ok() || r->steps.empty()) {
+        row.emplace_back("(none)");
+        continue;
+      }
+      row.push_back(StepName(r->steps[0]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: for psi2 (the paper's choice) small-k outliers "
+               "merge into the big type;\nas k grows the cheapest step "
+               "flips to displacing t2 — the cut-offs move per function, "
+               "as §5.2 predicts.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,106 @@
+// Scalability of the pipeline (§3: "be able to approximately type a
+// LARGE collection of semistructured data efficiently"): wall-clock of
+// each stage as the DBG-style database grows from ~0.5k to ~200k
+// objects. Stage 1 uses partition refinement (the scalable algorithm);
+// clustering cost depends on the Stage-1 type count, not the object
+// count, which is the method's point.
+
+#include <cstdio>
+#include <iostream>
+
+#include "cluster/greedy.h"
+#include "gen/dbg.h"
+#include "gen/spec.h"
+#include "typing/defect.h"
+#include "typing/perfect_typing.h"
+#include "typing/recast.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace schemex;  // NOLINT
+
+int Run() {
+  std::cout << "== Pipeline scalability (DBG-style data, refinement Stage 1) "
+               "==\n";
+  util::TablePrinter table;
+  table.SetHeader({"scale", "objects", "links", "stage1 (ms)",
+                   "stage1 types", "cluster->6 (ms)", "recast+defect (ms)",
+                   "total (ms)", "defect"});
+  for (int scale : {1, 5, 25}) {
+    gen::DatasetSpec spec = gen::DbgSpec();
+    for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
+    auto g = gen::Generate(spec, 4242);
+    if (!g.ok()) return 1;
+
+    util::WallTimer total;
+    util::WallTimer t1;
+    auto stage1 = typing::PerfectTypingViaRefinement(*g);
+    double stage1_ms = t1.ElapsedMillis();
+
+    util::WallTimer t2;
+    cluster::ClusteringOptions copt;
+    copt.target_num_types = 6;
+    auto clustering =
+        cluster::ClusterTypes(stage1->program, stage1->weight, copt);
+    double cluster_ms = t2.ElapsedMillis();
+
+    util::WallTimer t3;
+    std::vector<std::vector<typing::TypeId>> homes(g->NumObjects());
+    for (size_t o = 0; o < stage1->home.size(); ++o) {
+      if (stage1->home[o] == typing::kInvalidType) continue;
+      typing::TypeId m =
+          clustering->final_map[static_cast<size_t>(stage1->home[o])];
+      if (m != cluster::kEmptyType) homes[o] = {m};
+    }
+    auto recast = typing::Recast(clustering->final_program, *g, homes);
+    auto defect = typing::ComputeDefect(clustering->final_program, *g,
+                                        recast->assignment);
+    double recast_ms = t3.ElapsedMillis();
+
+    table.AddRow({util::StringPrintf("%dx", scale),
+                  util::StringPrintf("%zu", g->NumObjects()),
+                  util::StringPrintf("%zu", g->NumEdges()),
+                  util::StringPrintf("%.1f", stage1_ms),
+                  util::StringPrintf("%zu", stage1->program.NumTypes()),
+                  util::StringPrintf("%.1f", cluster_ms),
+                  util::StringPrintf("%.1f", recast_ms),
+                  util::StringPrintf("%.1f", total.ElapsedMillis()),
+                  util::StringPrintf("%zu", defect.defect())});
+  }
+  table.Print(std::cout);
+
+  // Stage 1 alone keeps scaling far past where the O(T^2..3) clustering
+  // becomes the bottleneck (T = stage-1 type count, which grows with the
+  // data's irregularity).
+  util::TablePrinter big;
+  big.SetHeader({"scale", "objects", "links", "stage1 (ms)", "stage1 types"});
+  for (int scale : {100, 500}) {
+    gen::DatasetSpec spec = gen::DbgSpec();
+    for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
+    auto g = gen::Generate(spec, 4242);
+    if (!g.ok()) return 1;
+    util::WallTimer t1;
+    auto stage1 = typing::PerfectTypingViaRefinement(*g);
+    big.AddRow({util::StringPrintf("%dx", scale),
+                util::StringPrintf("%zu", g->NumObjects()),
+                util::StringPrintf("%zu", g->NumEdges()),
+                util::StringPrintf("%.1f", t1.ElapsedMillis()),
+                util::StringPrintf("%zu", stage1->program.NumTypes())});
+  }
+  std::cout << "\n-- Stage 1 only, larger scales --\n";
+  big.Print(std::cout);
+
+  std::cout << "\nReading: Stage 1 scales near-linearly in edges; Stage 2 "
+               "depends on the Stage-1 TYPE count\n(which grows with "
+               "irregularity, not raw size); the defect grows linearly "
+               "with the data since\nthe same fraction of objects misses "
+               "the same optional links.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,91 @@
+#include "baseline/dataguide.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace schemex::baseline {
+
+util::StatusOr<DataGuide> BuildStrongDataGuide(const graph::DataGraph& g,
+                                               size_t max_nodes) {
+  // Virtual root target set: sources (complex objects with no incoming
+  // edges), or all complex objects if everything has incoming edges.
+  std::vector<graph::ObjectId> roots;
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (g.IsComplex(o) && g.InEdges(o).empty()) roots.push_back(o);
+  }
+  if (roots.empty()) {
+    for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+      if (g.IsComplex(o)) roots.push_back(o);
+    }
+  }
+
+  DataGuide guide;
+  std::map<std::vector<graph::ObjectId>, int> index;
+  std::queue<int> work;
+
+  auto intern = [&](std::vector<graph::ObjectId> set) {
+    auto it = index.find(set);
+    if (it != index.end()) return it->second;
+    int id = static_cast<int>(guide.nodes.size());
+    guide.nodes.push_back(DataGuide::Node{std::move(set), {}});
+    index.emplace(guide.nodes[static_cast<size_t>(id)].targets, id);
+    work.push(id);
+    return id;
+  };
+
+  std::sort(roots.begin(), roots.end());
+  intern(std::move(roots));
+
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    if (guide.nodes.size() > max_nodes) {
+      return util::Status::FailedPrecondition(util::StringPrintf(
+          "dataguide exceeded %zu nodes (powerset blow-up)", max_nodes));
+    }
+    // Group the union of outgoing edges of the target set by label.
+    std::map<graph::LabelId, std::vector<graph::ObjectId>> by_label;
+    // Copy targets: intern() may reallocate guide.nodes while we expand.
+    std::vector<graph::ObjectId> targets = guide.nodes[static_cast<size_t>(id)].targets;
+    for (graph::ObjectId o : targets) {
+      for (const graph::HalfEdge& e : g.OutEdges(o)) {
+        by_label[e.label].push_back(e.other);
+      }
+    }
+    std::vector<std::pair<graph::LabelId, int>> children;
+    for (auto& [label, set] : by_label) {
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+      children.emplace_back(label, intern(std::move(set)));
+      ++guide.num_edges;
+    }
+    guide.nodes[static_cast<size_t>(id)].children = std::move(children);
+  }
+  return guide;
+}
+
+std::vector<graph::ObjectId> DataGuide::Lookup(
+    const graph::DataGraph& g, const std::vector<std::string>& path) const {
+  if (nodes.empty()) return {};
+  int cur = 0;
+  for (const std::string& name : path) {
+    graph::LabelId label = g.labels().Find(name);
+    if (label == graph::kInvalidLabel) return {};
+    const Node& node = nodes[static_cast<size_t>(cur)];
+    int next = -1;
+    for (const auto& [l, child] : node.children) {
+      if (l == label) {
+        next = child;
+        break;
+      }
+    }
+    if (next < 0) return {};
+    cur = next;
+  }
+  return nodes[static_cast<size_t>(cur)].targets;
+}
+
+}  // namespace schemex::baseline

@@ -1,0 +1,52 @@
+#ifndef SCHEMEX_BASELINE_DATAGUIDE_H_
+#define SCHEMEX_BASELINE_DATAGUIDE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::baseline {
+
+/// A *strong DataGuide* (Goldman & Widom, VLDB '97) — the perfect-typing
+/// baseline the paper contrasts with (§1, [10]): a deterministic summary
+/// graph in which every node stands for the exact set of database objects
+/// reachable by some label path from the root. Built by the standard
+/// powerset (NFA->DFA style) construction over *outgoing* edges.
+///
+/// Because real semistructured databases are rarely rooted, construction
+/// adds a virtual root with an edge to every complex object that has no
+/// incoming edges (or to every complex object when none qualifies).
+struct DataGuide {
+  struct Node {
+    /// Database objects this guide node summarizes (sorted).
+    std::vector<graph::ObjectId> targets;
+    /// Outgoing guide edges (label, child node index), sorted by label.
+    std::vector<std::pair<graph::LabelId, int>> children;
+  };
+
+  /// nodes[0] is the root (the virtual root's target set).
+  std::vector<Node> nodes;
+  size_t num_edges = 0;
+
+  size_t NumNodes() const { return nodes.size(); }
+
+  /// Objects reachable by following `path` (labels by name) from the
+  /// root; empty vector if the path leaves the guide.
+  std::vector<graph::ObjectId> Lookup(
+      const graph::DataGraph& g,
+      const std::vector<std::string>& path) const;
+};
+
+/// Builds the strong DataGuide of `g`. Worst case exponential (powerset),
+/// like the original; fails with FailedPrecondition if the node count
+/// exceeds `max_nodes`.
+util::StatusOr<DataGuide> BuildStrongDataGuide(const graph::DataGraph& g,
+                                               size_t max_nodes = 1 << 20);
+
+}  // namespace schemex::baseline
+
+#endif  // SCHEMEX_BASELINE_DATAGUIDE_H_

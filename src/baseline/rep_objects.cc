@@ -1,0 +1,74 @@
+#include "baseline/rep_objects.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace schemex::baseline {
+
+namespace {
+
+using typing::TypeId;
+
+/// One outgoing-only refinement round; returns the new block count.
+size_t RefineOnce(const graph::DataGraph& g, std::vector<TypeId>* block) {
+  using Sig = std::vector<std::pair<graph::LabelId, TypeId>>;
+  std::map<std::pair<TypeId, Sig>, TypeId> next_id;
+  std::vector<TypeId> next(block->size(), typing::kInvalidType);
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (!g.IsComplex(o)) continue;
+    Sig sig;
+    for (const graph::HalfEdge& e : g.OutEdges(o)) {
+      sig.emplace_back(e.label, g.IsAtomic(e.other) ? typing::kAtomicType
+                                                    : (*block)[e.other]);
+    }
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    auto key = std::make_pair((*block)[o], std::move(sig));
+    auto it =
+        next_id.try_emplace(std::move(key), static_cast<TypeId>(next_id.size()))
+            .first;
+    next[o] = it->second;
+  }
+  *block = std::move(next);
+  return next_id.size();
+}
+
+}  // namespace
+
+std::vector<TypeId> DegreeKClasses(const graph::DataGraph& g, size_t k,
+                                   size_t* num_classes) {
+  std::vector<TypeId> block(g.NumObjects(), typing::kInvalidType);
+  size_t count = 0;
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (g.IsComplex(o)) {
+      block[o] = 0;
+      count = 1;
+    }
+  }
+  for (size_t round = 0; round < k; ++round) {
+    size_t next = RefineOnce(g, &block);
+    if (next == count) break;  // already stable
+    count = next;
+  }
+  if (num_classes != nullptr) *num_classes = count;
+  return block;
+}
+
+size_t FullRepObjectClassCount(const graph::DataGraph& g) {
+  std::vector<TypeId> block(g.NumObjects(), typing::kInvalidType);
+  size_t count = 0;
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (g.IsComplex(o)) {
+      block[o] = 0;
+      count = 1;
+    }
+  }
+  for (;;) {
+    size_t next = RefineOnce(g, &block);
+    if (next == count) return count;
+    count = next;
+  }
+}
+
+}  // namespace schemex::baseline

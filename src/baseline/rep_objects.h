@@ -1,0 +1,31 @@
+#ifndef SCHEMEX_BASELINE_REP_OBJECTS_H_
+#define SCHEMEX_BASELINE_REP_OBJECTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "typing/typed_link.h"
+
+namespace schemex::baseline {
+
+/// Degree-k representative objects (Nestorov, Ullman, Wiener, Chawathe,
+/// ICDE '97 — the paper's reference [15]): objects are equivalent iff
+/// their *outgoing* label-path trees agree to depth k. Implemented as k
+/// rounds of outgoing-only partition refinement starting from one block.
+///
+/// Returns the block id per object (kInvalidType for atomic objects) and
+/// sets `*num_classes`. k = 0 puts all complex objects in one class; as k
+/// grows the partition converges to the outgoing-only simulation classes
+/// (a one-directional cousin of Stage 1's partition, which also refines
+/// on incoming edges).
+std::vector<typing::TypeId> DegreeKClasses(const graph::DataGraph& g,
+                                           size_t k, size_t* num_classes);
+
+/// Number of classes once the outgoing-only refinement converges (the
+/// "full representative object" granularity).
+size_t FullRepObjectClassCount(const graph::DataGraph& g);
+
+}  // namespace schemex::baseline
+
+#endif  // SCHEMEX_BASELINE_REP_OBJECTS_H_

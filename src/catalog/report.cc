@@ -1,0 +1,83 @@
+#include "catalog/report.h"
+
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "typing/defect.h"
+#include "typing/dot_export.h"
+#include "util/string_util.h"
+
+namespace schemex::catalog {
+
+std::string RenderReport(const Workspace& ws, const ReportOptions& options) {
+  std::string out = "# Schema extraction report\n\n";
+
+  // --- Database. ---------------------------------------------------------
+  graph::GraphStats stats = graph::ComputeStats(ws.graph);
+  out += "## Database\n\n";
+  out += util::StringPrintf(
+      "- objects: %zu (%zu complex, %zu atomic)\n- links: %zu over %zu "
+      "labels\n- bipartite: %s; roots: %zu; avg out-degree %.2f\n\n",
+      stats.num_objects, stats.num_complex, stats.num_atomic,
+      stats.num_edges, stats.num_labels, stats.bipartite ? "yes" : "no",
+      stats.num_roots, stats.avg_out_degree);
+
+  if (ws.program.NumTypes() == 0) {
+    out += "## Schema\n\n(no schema extracted yet)\n";
+    return out;
+  }
+
+  // --- Schema. ------------------------------------------------------------
+  out += "## Schema\n\n```\n" + ws.program.ToString(ws.graph.labels()) +
+         "```\n\n";
+
+  // --- Types: population + examples. --------------------------------------
+  out += "## Types\n\n";
+  std::vector<size_t> population(ws.program.NumTypes(), 0);
+  for (graph::ObjectId o = 0; o < ws.assignment.NumObjects(); ++o) {
+    for (typing::TypeId t : ws.assignment.TypesOf(o)) {
+      ++population[static_cast<size_t>(t)];
+    }
+  }
+  for (size_t t = 0; t < ws.program.NumTypes(); ++t) {
+    out += util::StringPrintf(
+        "- **%s**: %zu objects",
+        ws.program.type(static_cast<typing::TypeId>(t)).name.c_str(),
+        population[t]);
+    size_t shown = 0;
+    for (graph::ObjectId o = 0;
+         o < ws.assignment.NumObjects() && shown < options.max_examples_per_type;
+         ++o) {
+      if (!ws.assignment.Has(o, static_cast<typing::TypeId>(t))) continue;
+      const std::string& name = ws.graph.Name(o);
+      out += shown == 0 ? " — e.g. " : ", ";
+      out += name.empty() ? util::StringPrintf("_o%u", o) : name;
+      ++shown;
+    }
+    out += "\n";
+  }
+  size_t untyped = 0;
+  for (graph::ObjectId o = 0; o < ws.assignment.NumObjects(); ++o) {
+    if (ws.graph.IsComplex(o) && ws.assignment.TypesOf(o).empty()) ++untyped;
+  }
+  out += util::StringPrintf("- *(untyped complex objects: %zu)*\n\n", untyped);
+
+  // --- Defect. -------------------------------------------------------------
+  typing::DefectReport defect =
+      typing::ComputeDefect(ws.program, ws.graph, ws.assignment);
+  out += "## Fit\n\n";
+  out += util::StringPrintf(
+      "- defect: **%zu** over %zu links (excess %zu, deficit %zu)\n\n",
+      defect.defect(), ws.graph.NumEdges(), defect.excess, defect.deficit);
+
+  if (options.include_dot) {
+    typing::DotOptions dopt;
+    dopt.weights.assign(population.begin(), population.end());
+    out += "## Schema graph (Graphviz)\n\n```dot\n" +
+           typing::ProgramToDot(ws.program, ws.graph.labels(), dopt) +
+           "```\n";
+  }
+  return out;
+}
+
+}  // namespace schemex::catalog

@@ -1,0 +1,27 @@
+#ifndef SCHEMEX_CATALOG_REPORT_H_
+#define SCHEMEX_CATALOG_REPORT_H_
+
+#include <string>
+
+#include "catalog/workspace.h"
+
+namespace schemex::catalog {
+
+struct ReportOptions {
+  /// Include the Graphviz rendering of the schema graph.
+  bool include_dot = false;
+  /// Cap the per-type example-object lists.
+  size_t max_examples_per_type = 5;
+};
+
+/// Renders a human-readable markdown report for a workspace: database
+/// statistics, the schema in paper notation, per-type population and
+/// example objects, the defect breakdown, and (optionally) a DOT block —
+/// the "summary of the actual contents" role the paper assigns to a good
+/// typing (§1).
+std::string RenderReport(const Workspace& ws,
+                         const ReportOptions& options = {});
+
+}  // namespace schemex::catalog
+
+#endif  // SCHEMEX_CATALOG_REPORT_H_

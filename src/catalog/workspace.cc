@@ -1,0 +1,153 @@
+#include "catalog/workspace.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "typing/program_io.h"
+#include "util/string_util.h"
+
+namespace schemex::catalog {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+util::Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::Status::Internal("cannot open " + path.string() +
+                                  " for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out) return util::Status::Internal("write failed: " + path.string());
+  return util::Status::OK();
+}
+
+util::StatusOr<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string AssignmentToTsv(const typing::TypeAssignment& tau) {
+  std::string out;
+  for (graph::ObjectId o = 0; o < tau.NumObjects(); ++o) {
+    const auto& types = tau.TypesOf(o);
+    if (types.empty()) continue;
+    out += util::StringPrintf("%u\t", o);
+    for (size_t i = 0; i < types.size(); ++i) {
+      if (i > 0) out += ',';
+      out += util::StringPrintf("%d", types[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::StatusOr<typing::TypeAssignment> AssignmentFromTsv(
+    const std::string& text, size_t num_objects) {
+  typing::TypeAssignment tau(num_objects);
+  size_t line_no = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fail = [&](const char* why) {
+      return util::Status::ParseError(
+          util::StringPrintf("assignment.tsv line %zu: %s", line_no, why));
+    };
+    size_t tab = trimmed.find('\t');
+    if (tab == std::string_view::npos) return fail("missing tab");
+    uint64_t obj = 0;
+    if (!util::ParseUint64(trimmed.substr(0, tab), &obj) ||
+        obj >= num_objects) {
+      return fail("bad object id");
+    }
+    for (const std::string& tok :
+         util::Split(trimmed.substr(tab + 1), ',')) {
+      uint64_t type = 0;
+      if (!util::ParseUint64(util::Trim(tok), &type)) {
+        return fail("bad type id");
+      }
+      tau.Assign(static_cast<graph::ObjectId>(obj),
+                 static_cast<typing::TypeId>(type));
+    }
+  }
+  return tau;
+}
+
+}  // namespace
+
+util::Status Workspace::Validate() const {
+  if (assignment.NumObjects() != 0 &&
+      assignment.NumObjects() != graph.NumObjects()) {
+    return util::Status::FailedPrecondition(
+        "assignment sized for a different graph");
+  }
+  SCHEMEX_RETURN_IF_ERROR(program.Validate());
+  for (const typing::TypeDef& t : program.types()) {
+    for (const typing::TypedLink& l : t.signature.links()) {
+      if (l.label >= graph.labels().size()) {
+        return util::Status::FailedPrecondition(
+            "program references a label outside the graph's table");
+      }
+    }
+  }
+  for (graph::ObjectId o = 0; o < assignment.NumObjects(); ++o) {
+    for (typing::TypeId t : assignment.TypesOf(o)) {
+      if (t < 0 || static_cast<size_t>(t) >= program.NumTypes()) {
+        return util::Status::FailedPrecondition(
+            "assignment references a type outside the program");
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
+  SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create directory " + dir + ": " +
+                                  ec.message());
+  }
+  SCHEMEX_RETURN_IF_ERROR(
+      WriteFile(fs::path(dir) / "graph.sxg", graph::WriteGraph(ws.graph)));
+  SCHEMEX_RETURN_IF_ERROR(WriteFile(
+      fs::path(dir) / "schema.dl",
+      typing::WriteTypingProgram(ws.program, ws.graph.labels())));
+  SCHEMEX_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "assignment.tsv",
+                                    AssignmentToTsv(ws.assignment)));
+  return util::Status::OK();
+}
+
+util::StatusOr<Workspace> LoadWorkspace(const std::string& dir) {
+  Workspace ws;
+  SCHEMEX_ASSIGN_OR_RETURN(std::string graph_text,
+                           ReadFile(fs::path(dir) / "graph.sxg"));
+  SCHEMEX_ASSIGN_OR_RETURN(ws.graph, graph::ReadGraph(graph_text));
+
+  auto schema_text = ReadFile(fs::path(dir) / "schema.dl");
+  if (schema_text.ok()) {
+    SCHEMEX_ASSIGN_OR_RETURN(
+        ws.program,
+        typing::ReadTypingProgram(*schema_text, &ws.graph.labels()));
+  }
+  auto tsv = ReadFile(fs::path(dir) / "assignment.tsv");
+  if (tsv.ok()) {
+    SCHEMEX_ASSIGN_OR_RETURN(
+        ws.assignment, AssignmentFromTsv(*tsv, ws.graph.NumObjects()));
+  } else {
+    ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  }
+  SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  return ws;
+}
+
+}  // namespace schemex::catalog

@@ -1,0 +1,40 @@
+#ifndef SCHEMEX_CATALOG_WORKSPACE_H_
+#define SCHEMEX_CATALOG_WORKSPACE_H_
+
+#include <string>
+
+#include "graph/data_graph.h"
+#include "typing/assignment.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::catalog {
+
+/// A persisted extraction workspace: the database, the extracted schema,
+/// and the object-to-types assignment. Everything a downstream consumer
+/// (query layer, incremental typer, report generator) needs to resume.
+struct Workspace {
+  graph::DataGraph graph;
+  typing::TypingProgram program;     ///< may be empty (no schema yet)
+  typing::TypeAssignment assignment; ///< may be empty
+
+  /// Checks mutual consistency: assignment sized to the graph, type ids
+  /// within the program, program labels within the graph's table.
+  util::Status Validate() const;
+};
+
+/// Directory layout written by SaveWorkspace:
+///   <dir>/graph.sxg        graph text format (graph/graph_io.h)
+///   <dir>/schema.dl        datalog text (typing/program_io.h)
+///   <dir>/assignment.tsv   "<object-id>\t<type-id>[,<type-id>...]" rows
+/// The directory is created if missing; existing files are overwritten.
+util::Status SaveWorkspace(const Workspace& ws, const std::string& dir);
+
+/// Loads a workspace saved by SaveWorkspace. Missing schema/assignment
+/// files load as empty (a graph-only workspace is valid); a missing
+/// graph file is an error.
+util::StatusOr<Workspace> LoadWorkspace(const std::string& dir);
+
+}  // namespace schemex::catalog
+
+#endif  // SCHEMEX_CATALOG_WORKSPACE_H_

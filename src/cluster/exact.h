@@ -1,0 +1,44 @@
+#ifndef SCHEMEX_CLUSTER_EXACT_H_
+#define SCHEMEX_CLUSTER_EXACT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "typing/perfect_typing.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::cluster {
+
+/// Exhaustive optimal k-typing for tiny inputs. The paper proves the
+/// general problem NP-hard (even for bipartite graphs, §5.2), so this is
+/// a test/ablation oracle, not a production path: it enumerates every
+/// partition of the Stage-1 types into at most k groups (restricted
+/// growth strings), defines each group by its weighted medoid signature,
+/// recasts, and returns the partition minimizing the measured defect.
+///
+/// The search space matches what the greedy and k-center heuristics can
+/// reach (group definitions are member signatures), so the gap to this
+/// optimum measures their approximation quality — the paper cites an
+/// O(log n) guarantee for greedy under assumptions [11].
+struct ExactOptions {
+  size_t k = 2;
+  /// Refuse inputs with more Stage-1 types than this (Bell-number guard).
+  size_t max_types = 10;
+};
+
+struct ExactResult {
+  typing::TypingProgram program;
+  std::vector<typing::TypeId> map;  ///< stage-1 type -> final type
+  size_t defect = 0;                ///< achieved optimum
+  size_t partitions_tried = 0;
+};
+
+util::StatusOr<ExactResult> ExactOptimalTyping(
+    const graph::DataGraph& g, const typing::PerfectTypingResult& stage1,
+    const ExactOptions& options);
+
+}  // namespace schemex::cluster
+
+#endif  // SCHEMEX_CLUSTER_EXACT_H_

@@ -1,0 +1,324 @@
+#include "cluster/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace schemex::cluster {
+
+namespace {
+
+using typing::TypeId;
+using typing::TypeSignature;
+using typing::TypingProgram;
+
+/// Orders merge candidates the way a naive double loop would find them:
+/// by cost, then by source id, then destination id with the empty-type
+/// move losing all ties (it was checked last in the reference scan). The
+/// incremental best-candidate cache below preserves this order exactly,
+/// so the optimization cannot change results.
+struct Candidate {
+  TypeId source = -1;
+  TypeId dest = -1;  // kEmptyType for the empty-type move
+  size_t simple_d = 0;
+  double cost = std::numeric_limits<double>::infinity();
+
+  size_t DestRank() const {
+    return dest == kEmptyType ? std::numeric_limits<size_t>::max()
+                              : static_cast<size_t>(dest);
+  }
+  /// True if *this is a strictly better pick than `o` for the same source.
+  /// Infinite-cost candidates never win (matching the reference scan,
+  /// where `inf < inf` kept the empty sentinel and ended the clustering).
+  bool BeatsAsDest(const Candidate& o) const {
+    if (cost == std::numeric_limits<double>::infinity()) return false;
+    if (cost != o.cost) return cost < o.cost;
+    return DestRank() < o.DestRank();
+  }
+  /// True if *this beats `o` globally (across sources).
+  bool BeatsGlobally(const Candidate& o) const {
+    if (cost != o.cost) return cost < o.cost;
+    if (source != o.source) return source < o.source;
+    return DestRank() < o.DestRank();
+  }
+};
+
+class GreedyClusterer {
+ public:
+  GreedyClusterer(const TypingProgram& stage1,
+                  const std::vector<uint32_t>& weights,
+                  const ClusteringOptions& options)
+      : options_(options),
+        n_(stage1.NumTypes()),
+        names_(n_),
+        sig_(n_),
+        weight_(n_),
+        alive_(n_, true),
+        cluster_of_(n_),
+        big_l_(stage1.NumDistinctTypedLinks()) {
+    for (size_t i = 0; i < n_; ++i) {
+      names_[i] = stage1.type(static_cast<TypeId>(i)).name;
+      sig_[i] = stage1.type(static_cast<TypeId>(i)).signature;
+      weight_[i] = weights[i];
+      cluster_of_[i] = static_cast<TypeId>(i);
+    }
+    InitDistances();
+    best_.resize(n_);
+    for (size_t s = 0; s < n_; ++s) RecomputeBest(s);
+  }
+
+  ClusteringResult Run() {
+    ClusteringResult result;
+    size_t live = n_;
+    if (options_.record_snapshots) {
+      result.snapshots.push_back(MakeSnapshot(0.0));
+    }
+    double total = 0.0;
+    while (live > options_.target_num_types) {
+      Candidate best = PickGlobalBest();
+      if (best.source < 0) break;  // nothing mergeable (live <= 1)
+      Apply(best);
+      --live;
+      total += best.cost;
+      result.steps.push_back(MergeStep{live, best.source, best.dest,
+                                       best.simple_d, best.cost});
+      if (options_.record_snapshots) {
+        result.snapshots.push_back(MakeSnapshot(total));
+      }
+    }
+    result.total_distance = total;
+    Snapshot fin = MakeSnapshot(total);
+    result.final_program = std::move(fin.program);
+    result.final_map = std::move(fin.stage1_to_snapshot);
+    result.final_weights.assign(result.final_program.NumTypes(), 0);
+    for (size_t i = 0; i < n_; ++i) {
+      TypeId t = result.final_map[i];
+      if (t != kEmptyType) {
+        // Weight accumulates per *Stage-1* home population, which is what
+        // the original weights measured.
+        result.final_weights[static_cast<size_t>(t)] += initial_weight_[i];
+      }
+    }
+    return result;
+  }
+
+ private:
+  size_t D(size_t a, size_t b) const { return d_[a * n_ + b]; }
+  void SetD(size_t a, size_t b, size_t v) {
+    d_[a * n_ + b] = static_cast<uint32_t>(v);
+    d_[b * n_ + a] = static_cast<uint32_t>(v);
+  }
+
+  void InitDistances() {
+    initial_weight_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      initial_weight_[i] = static_cast<uint64_t>(weight_[i]);
+    }
+    d_.assign(n_ * n_, 0);
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = i + 1; j < n_; ++j) {
+        SetD(i, j, SimpleDistance(sig_[i], sig_[j]));
+      }
+    }
+  }
+
+  double Cost(size_t dest, size_t source, size_t dist) const {
+    return WeightedDistance(options_.psi, weight_[dest], weight_[source],
+                            dist, big_l_);
+  }
+
+  Candidate MakeCandidate(size_t s, size_t t) const {
+    return Candidate{static_cast<TypeId>(s), static_cast<TypeId>(t),
+                     D(s, t), Cost(t, s, D(s, t))};
+  }
+
+  Candidate MakeEmptyCandidate(size_t s) const {
+    return Candidate{static_cast<TypeId>(s), kEmptyType, sig_[s].size(),
+                     WeightedDistance(options_.psi,
+                                      std::max(empty_weight_, 1.0),
+                                      weight_[s], sig_[s].size(), big_l_)};
+  }
+
+  /// Full rescan of the best move out of source `s`.
+  void RecomputeBest(size_t s) {
+    Candidate best;
+    best.source = static_cast<TypeId>(s);
+    for (size_t t = 0; t < n_; ++t) {
+      if (t == s || !alive_[t]) continue;
+      Candidate c = MakeCandidate(s, t);
+      if (c.BeatsAsDest(best)) best = c;
+    }
+    if (options_.enable_empty_type) {
+      Candidate c = MakeEmptyCandidate(s);
+      if (c.BeatsAsDest(best)) best = c;
+    }
+    best_[s] = best;
+  }
+
+  Candidate PickGlobalBest() const {
+    Candidate best;  // source = -1, cost = inf
+    for (size_t s = 0; s < n_; ++s) {
+      if (!alive_[s]) continue;
+      if (best_[s].dest == -1 && best_[s].cost ==
+                                     std::numeric_limits<double>::infinity()) {
+        continue;  // no destination available (single cluster, no empty)
+      }
+      if (best.source < 0 || best_[s].BeatsGlobally(best)) best = best_[s];
+    }
+    return best;
+  }
+
+  /// Re-derives the d row of `c` after its signature changed and folds
+  /// the new costs into the cached bests of every other source.
+  void RefreshDistancesFor(size_t c) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (j == c || !alive_[j]) continue;
+      SetD(c, j, SimpleDistance(sig_[c], sig_[j]));
+    }
+    // c's own options all changed (its size may also have changed,
+    // affecting its empty move).
+    RecomputeBest(c);
+    for (size_t j = 0; j < n_; ++j) {
+      if (j == c || !alive_[j]) continue;
+      if (best_[j].dest == static_cast<TypeId>(c)) {
+        RecomputeBest(j);  // cached pick may have become worse
+      } else {
+        Candidate cand = MakeCandidate(j, c);
+        if (cand.BeatsAsDest(best_[j])) best_[j] = cand;
+      }
+    }
+  }
+
+  bool PsiDependsOnDestWeight() const {
+    switch (options_.psi) {
+      case PsiKind::kPsi1:
+      case PsiKind::kPsi3:
+      case PsiKind::kPsi5:
+        return true;
+      case PsiKind::kSimpleD:
+      case PsiKind::kPsi2:
+      case PsiKind::kPsi4:
+        return false;
+    }
+    return true;
+  }
+
+  void Apply(const Candidate& c) {
+    size_t s = static_cast<size_t>(c.source);
+    alive_[s] = false;
+    for (TypeId& cl : cluster_of_) {
+      if (cl == c.source) cl = c.dest;
+    }
+    if (c.dest == kEmptyType) {
+      empty_weight_ += weight_[s];
+      // Typed links targeting s can no longer be witnessed by classified
+      // objects; drop them from every surviving rule body.
+      for (size_t i = 0; i < n_; ++i) {
+        if (!alive_[i]) continue;
+        bool changed = false;
+        TypeSignature next = sig_[i];
+        for (const typing::TypedLink& l : sig_[i].links()) {
+          if (l.target == c.source) {
+            next.Erase(l);
+            changed = true;
+          }
+        }
+        if (changed) {
+          sig_[i] = std::move(next);
+          RefreshDistancesFor(i);
+        }
+      }
+      // The empty type got heavier: empty-move costs change for
+      // w1-dependent psi kinds; and any cached best pointing at s died.
+      for (size_t i = 0; i < n_; ++i) {
+        if (!alive_[i]) continue;
+        if (best_[i].dest == c.source ||
+            (options_.enable_empty_type && PsiDependsOnDestWeight())) {
+          RecomputeBest(i);
+        }
+      }
+      return;
+    }
+    size_t t = static_cast<size_t>(c.dest);
+    weight_[t] += weight_[s];
+    // Hypercube projection: every reference to s becomes a reference to t.
+    for (size_t i = 0; i < n_; ++i) {
+      if (!alive_[i]) continue;
+      TypeSignature before = sig_[i];
+      sig_[i].RemapTarget(c.source, c.dest);
+      if (!(sig_[i] == before)) RefreshDistancesFor(i);
+    }
+    // Invalidate stale picks: anything aimed at the dead source, or at t
+    // (whose weight changed — costs may have moved either way), plus fold
+    // in the possibly-cheaper move into the heavier t.
+    for (size_t i = 0; i < n_; ++i) {
+      if (!alive_[i] || i == t) continue;
+      if (best_[i].dest == c.source || best_[i].dest == c.dest) {
+        RecomputeBest(i);
+      } else {
+        Candidate cand = MakeCandidate(i, t);
+        if (cand.BeatsAsDest(best_[i])) best_[i] = cand;
+      }
+    }
+    RecomputeBest(t);
+  }
+
+  Snapshot MakeSnapshot(double total) const {
+    Snapshot snap;
+    std::vector<TypeId> dense(n_, kEmptyType);
+    for (size_t i = 0; i < n_; ++i) {
+      if (!alive_[i]) continue;
+      dense[i] = static_cast<TypeId>(snap.program.NumTypes());
+      TypeSignature sig = sig_[i];
+      snap.program.AddType(names_[i], std::move(sig));
+    }
+    // Snapshot signatures still reference cluster indices; remap to dense.
+    for (size_t t = 0; t < snap.program.NumTypes(); ++t) {
+      snap.program.type(static_cast<TypeId>(t))
+          .signature.RemapTargets(dense);
+    }
+    snap.stage1_to_snapshot.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      TypeId cl = cluster_of_[i];
+      snap.stage1_to_snapshot[i] =
+          cl == kEmptyType ? kEmptyType : dense[static_cast<size_t>(cl)];
+    }
+    snap.num_types = snap.program.NumTypes();
+    snap.total_distance = total;
+    return snap;
+  }
+
+  const ClusteringOptions options_;
+  const size_t n_;
+  std::vector<std::string> names_;
+  std::vector<TypeSignature> sig_;
+  std::vector<double> weight_;
+  std::vector<uint64_t> initial_weight_;
+  std::vector<bool> alive_;
+  std::vector<TypeId> cluster_of_;
+  std::vector<uint32_t> d_;        // flat n*n simple-distance matrix
+  std::vector<Candidate> best_;    // per live source: its best move
+  double empty_weight_ = 0.0;
+  const size_t big_l_;
+};
+
+}  // namespace
+
+util::StatusOr<ClusteringResult> ClusterTypes(
+    const TypingProgram& stage1, const std::vector<uint32_t>& weights,
+    const ClusteringOptions& options) {
+  if (weights.size() != stage1.NumTypes()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "weights (%zu) must match number of types (%zu)", weights.size(),
+        stage1.NumTypes()));
+  }
+  if (options.target_num_types < 1) {
+    return util::Status::InvalidArgument("target_num_types must be >= 1");
+  }
+  SCHEMEX_RETURN_IF_ERROR(stage1.Validate());
+  GreedyClusterer clusterer(stage1, weights, options);
+  return clusterer.Run();
+}
+
+}  // namespace schemex::cluster

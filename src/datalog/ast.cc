@@ -1,0 +1,84 @@
+#include "datalog/ast.h"
+
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace schemex::datalog {
+
+util::Status Program::Validate() const {
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    auto fail = [&](const char* why) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("rule %zu: %s", r, why));
+    };
+    if (rule.head_pred < 0 ||
+        rule.head_pred >= static_cast<PredId>(pred_names.size())) {
+      return fail("head predicate out of range");
+    }
+    if (rule.num_vars < 1) return fail("rules must have a head variable");
+    for (const Atom& a : rule.body) {
+      auto var_ok = [&](Var v, bool allow_anon) {
+        if (v == kAnonVar) return allow_anon;
+        return v >= 0 && v < rule.num_vars;
+      };
+      switch (a.kind) {
+        case Atom::Kind::kLink:
+          if (!var_ok(a.arg0, false) || !var_ok(a.arg1, false)) {
+            return fail("link atom variable out of range");
+          }
+          if (a.label == graph::kInvalidLabel) {
+            return fail("link atom requires a constant label");
+          }
+          break;
+        case Atom::Kind::kAtomic:
+          if (!var_ok(a.arg0, false) || !var_ok(a.arg1, true)) {
+            return fail("atomic atom variable out of range");
+          }
+          break;
+        case Atom::Kind::kIdb:
+          if (!var_ok(a.arg0, false)) {
+            return fail("idb atom variable out of range");
+          }
+          if (a.pred < 0 || a.pred >= static_cast<PredId>(pred_names.size())) {
+            return fail("idb atom predicate out of range");
+          }
+          break;
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+bool Program::IsRecursive() const {
+  // Build predicate dependency adjacency and look for a cycle via Kahn's
+  // algorithm (cycle <=> not all nodes removed).
+  size_t n = pred_names.size();
+  std::vector<std::vector<PredId>> dep(n);  // body pred -> head pred edges
+  std::vector<int> indeg(n, 0);
+  for (const Rule& r : rules) {
+    for (const Atom& a : r.body) {
+      if (a.kind == Atom::Kind::kIdb) {
+        dep[a.pred].push_back(r.head_pred);
+        ++indeg[r.head_pred];
+      }
+    }
+  }
+  std::queue<PredId> q;
+  for (size_t p = 0; p < n; ++p) {
+    if (indeg[p] == 0) q.push(static_cast<PredId>(p));
+  }
+  size_t removed = 0;
+  while (!q.empty()) {
+    PredId p = q.front();
+    q.pop();
+    ++removed;
+    for (PredId h : dep[p]) {
+      if (--indeg[h] == 0) q.push(h);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace schemex::datalog

@@ -1,0 +1,101 @@
+#ifndef SCHEMEX_DATALOG_AST_H_
+#define SCHEMEX_DATALOG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "util/status.h"
+
+namespace schemex::datalog {
+
+/// Variables within one rule are dense indices 0..num_vars-1.
+/// By convention the head variable of every rule is variable 0.
+using Var = int;
+
+inline constexpr Var kHeadVar = 0;
+
+/// Anonymous variable marker for the value position of atomic(Y, _).
+inline constexpr Var kAnonVar = -1;
+
+/// Index of an IDB predicate within its Program.
+using PredId = int;
+
+/// One body atom of a monadic datalog rule over the two EDBs of the paper
+/// (link/3 with a constant label, atomic/2) plus monadic IDB atoms.
+struct Atom {
+  enum class Kind : uint8_t {
+    kLink,    ///< link(from_var, to_var, label)
+    kAtomic,  ///< atomic(obj_var, value_var) — value_var may be kAnonVar
+    kIdb,     ///< pred(obj_var)
+  };
+
+  Kind kind;
+  Var arg0 = kAnonVar;  ///< kLink: from; kAtomic: obj; kIdb: the variable
+  Var arg1 = kAnonVar;  ///< kLink: to; kAtomic: value; kIdb: unused
+  graph::LabelId label = graph::kInvalidLabel;  ///< kLink only
+  PredId pred = -1;                             ///< kIdb only
+
+  static Atom Link(Var from, Var to, graph::LabelId l) {
+    return Atom{Kind::kLink, from, to, l, -1};
+  }
+  static Atom Atomic(Var obj, Var value = kAnonVar) {
+    return Atom{Kind::kAtomic, obj, value, graph::kInvalidLabel, -1};
+  }
+  static Atom Idb(PredId p, Var v) {
+    return Atom{Kind::kIdb, v, kAnonVar, graph::kInvalidLabel, p};
+  }
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+/// One rule: head_pred(X0) :- body. `num_vars` counts the distinct
+/// variables (0 is the head variable; anonymous variables are not counted).
+struct Rule {
+  PredId head_pred = -1;
+  int num_vars = 1;
+  std::vector<Atom> body;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+/// A monadic datalog program over EDBs {link, atomic}. Unlike the paper's
+/// restricted typing programs, a Program may have multiple rules per
+/// predicate and arbitrary conjunctive bodies; the typing layer
+/// (schemex::typing) restricts itself to the paper's single-rule,
+/// typed-link form but reuses this engine.
+struct Program {
+  std::vector<std::string> pred_names;
+  std::vector<Rule> rules;
+
+  /// Adds a predicate and returns its id. Names should be unique; lookup
+  /// helpers return the first match.
+  PredId AddPred(std::string name) {
+    pred_names.push_back(std::move(name));
+    return static_cast<PredId>(pred_names.size()) - 1;
+  }
+
+  /// Returns the predicate id for `name`, or -1.
+  PredId FindPred(const std::string& name) const {
+    for (size_t i = 0; i < pred_names.size(); ++i) {
+      if (pred_names[i] == name) return static_cast<PredId>(i);
+    }
+    return -1;
+  }
+
+  size_t num_preds() const { return pred_names.size(); }
+
+  /// Structural well-formedness: predicate/variable indices in range, head
+  /// variable used, anonymous vars only in atomic value position.
+  util::Status Validate() const;
+
+  /// True iff no IDB body atom refers (directly or transitively) to a
+  /// predicate that can reach the rule's own head predicate — i.e. the
+  /// dependency graph is acyclic. For non-recursive programs LFP == GFP.
+  bool IsRecursive() const;
+};
+
+}  // namespace schemex::datalog
+
+#endif  // SCHEMEX_DATALOG_AST_H_

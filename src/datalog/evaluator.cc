@@ -1,0 +1,372 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace schemex::datalog {
+
+namespace {
+
+constexpr graph::ObjectId kUnbound = graph::kInvalidObject;
+
+/// Backtracking existence search over the rule body. Object variables bind
+/// to ObjectIds; value variables (second argument of atomic atoms) bind to
+/// atomic values and live in a separate namespace keyed by the same
+/// variable index.
+class BodySolver {
+ public:
+  BodySolver(const Rule& rule, const graph::DataGraph& g,
+             const Interpretation& m)
+      : rule_(rule),
+        g_(g),
+        m_(m),
+        obj_binding_(static_cast<size_t>(rule.num_vars), kUnbound),
+        val_binding_(static_cast<size_t>(rule.num_vars)),
+        val_bound_(static_cast<size_t>(rule.num_vars), false),
+        done_(rule.body.size(), false) {}
+
+  bool Solve(graph::ObjectId head) {
+    obj_binding_[kHeadVar] = head;
+    return SolveRemaining(rule_.body.size());
+  }
+
+  /// Semi-naive delta join: enumerates every solution in which `pinned`
+  /// is bound to `x`, recording the head-variable bindings into `heads`.
+  /// If some solution leaves the head variable unbound (the body does not
+  /// mention it), sets `*all_heads` — every object is then a valid head.
+  void CollectHeads(Var pinned, graph::ObjectId x, util::DenseBitset* heads,
+                    bool* all_heads) {
+    collect_heads_ = heads;
+    all_heads_ = all_heads;
+    obj_binding_[pinned] = x;
+    (void)SolveRemaining(rule_.body.size());
+    collect_heads_ = nullptr;
+    all_heads_ = nullptr;
+  }
+
+ private:
+  bool ObjBound(Var v) const { return obj_binding_[v] != kUnbound; }
+
+  /// Called with a complete body match. Returns true to stop the search.
+  bool OnSolution() {
+    if (collect_heads_ == nullptr) return true;  // existence mode
+    if (ObjBound(kHeadVar)) {
+      collect_heads_->Set(obj_binding_[kHeadVar]);
+      return false;  // keep enumerating other head bindings
+    }
+    *all_heads_ = true;
+    return true;  // no head constraint: nothing more to learn
+  }
+
+  /// Picks the not-yet-processed atom with the most bound variables so the
+  /// join stays index-driven whenever the rule is connected. Returns the
+  /// atom index or -1 when all are done.
+  int PickAtom() const {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      if (done_[i]) continue;
+      const Atom& a = rule_.body[i];
+      int score = 0;
+      switch (a.kind) {
+        case Atom::Kind::kLink:
+          score = (ObjBound(a.arg0) ? 2 : 0) + (ObjBound(a.arg1) ? 2 : 0);
+          break;
+        case Atom::Kind::kAtomic:
+          score = ObjBound(a.arg0) ? 3 : 0;
+          break;
+        case Atom::Kind::kIdb:
+          // Checking a bound IDB atom is O(1); enumerating an extent is the
+          // worst option, so give unbound IDB atoms the lowest score.
+          score = ObjBound(a.arg0) ? 4 : -1;
+          break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  bool SolveRemaining(size_t remaining) {
+    if (remaining == 0) return OnSolution();
+    int ai = PickAtom();
+    const Atom& a = rule_.body[static_cast<size_t>(ai)];
+    done_[static_cast<size_t>(ai)] = true;
+    bool found = SolveAtom(a, remaining - 1);
+    done_[static_cast<size_t>(ai)] = false;
+    return found;
+  }
+
+  bool SolveAtom(const Atom& a, size_t remaining) {
+    switch (a.kind) {
+      case Atom::Kind::kLink:
+        return SolveLink(a, remaining);
+      case Atom::Kind::kAtomic:
+        return SolveAtomic(a, remaining);
+      case Atom::Kind::kIdb:
+        return SolveIdb(a, remaining);
+    }
+    return false;
+  }
+
+  bool TryBindObj(Var v, graph::ObjectId o, size_t remaining) {
+    if (ObjBound(v)) {
+      return obj_binding_[v] == o && SolveRemaining(remaining);
+    }
+    obj_binding_[v] = o;
+    bool found = SolveRemaining(remaining);
+    obj_binding_[v] = kUnbound;
+    return found;
+  }
+
+  bool SolveLink(const Atom& a, size_t remaining) {
+    const bool fb = ObjBound(a.arg0);
+    const bool tb = ObjBound(a.arg1);
+    if (fb && tb) {
+      return g_.HasEdge(obj_binding_[a.arg0], obj_binding_[a.arg1], a.label) &&
+             SolveRemaining(remaining);
+    }
+    if (fb) {
+      for (const graph::HalfEdge& e : g_.OutEdges(obj_binding_[a.arg0])) {
+        if (e.label != a.label) continue;
+        if (TryBindObj(a.arg1, e.other, remaining)) return true;
+      }
+      return false;
+    }
+    if (tb) {
+      for (const graph::HalfEdge& e : g_.InEdges(obj_binding_[a.arg1])) {
+        if (e.label != a.label) continue;
+        if (TryBindObj(a.arg0, e.other, remaining)) return true;
+      }
+      return false;
+    }
+    // Disconnected body component: scan all edges with this label.
+    for (graph::ObjectId o = 0; o < g_.NumObjects(); ++o) {
+      if (g_.IsAtomic(o)) continue;
+      for (const graph::HalfEdge& e : g_.OutEdges(o)) {
+        if (e.label != a.label) continue;
+        obj_binding_[a.arg0] = o;
+        bool found = TryBindObj(a.arg1, e.other, remaining);
+        obj_binding_[a.arg0] = kUnbound;
+        if (found) return true;
+      }
+    }
+    return false;
+  }
+
+  bool CheckOrBindValue(Var value_var, graph::ObjectId atom_obj,
+                        size_t remaining) {
+    if (value_var == kAnonVar) return SolveRemaining(remaining);
+    const std::string& v = g_.Value(atom_obj);
+    if (val_bound_[value_var]) {
+      return val_binding_[value_var] == v && SolveRemaining(remaining);
+    }
+    val_bound_[value_var] = true;
+    val_binding_[value_var] = v;
+    bool found = SolveRemaining(remaining);
+    val_bound_[value_var] = false;
+    return found;
+  }
+
+  bool SolveAtomic(const Atom& a, size_t remaining) {
+    if (ObjBound(a.arg0)) {
+      graph::ObjectId o = obj_binding_[a.arg0];
+      return g_.IsAtomic(o) && CheckOrBindValue(a.arg1, o, remaining);
+    }
+    for (graph::ObjectId o = 0; o < g_.NumObjects(); ++o) {
+      if (!g_.IsAtomic(o)) continue;
+      obj_binding_[a.arg0] = o;
+      bool found = CheckOrBindValue(a.arg1, o, remaining);
+      obj_binding_[a.arg0] = kUnbound;
+      if (found) return true;
+    }
+    return false;
+  }
+
+  bool SolveIdb(const Atom& a, size_t remaining) {
+    if (ObjBound(a.arg0)) {
+      return m_.Contains(a.pred, obj_binding_[a.arg0]) &&
+             SolveRemaining(remaining);
+    }
+    bool found = false;
+    // DenseBitset::ForEach has no early exit; the fast path above covers
+    // all connected rules, so this full scan only hits disconnected bodies.
+    m_.extents[a.pred].ForEach([&](size_t o) {
+      if (found) return;
+      if (TryBindObj(a.arg0, static_cast<graph::ObjectId>(o), remaining)) {
+        found = true;
+      }
+    });
+    return found;
+  }
+
+  const Rule& rule_;
+  const graph::DataGraph& g_;
+  const Interpretation& m_;
+  std::vector<graph::ObjectId> obj_binding_;
+  std::vector<std::string> val_binding_;
+  std::vector<char> val_bound_;
+  std::vector<char> done_;
+  util::DenseBitset* collect_heads_ = nullptr;
+  bool* all_heads_ = nullptr;
+};
+
+/// Delta-driven least-fixpoint evaluation: round 1 fires only the rules
+/// with IDB-free bodies (nothing else can fire on the empty
+/// interpretation); afterwards a rule re-fires only for head objects
+/// reachable from a newly derived (delta) object through one of its IDB
+/// body atoms. Immediate (chaotic) insertion is used — sound for
+/// monotone programs and converges at least as fast as strict rounds.
+Interpretation SemiNaiveLfp(const Program& program,
+                            const graph::DataGraph& g, EvalStats* stats) {
+  const size_t n = g.NumObjects();
+  const size_t num_preds = program.num_preds();
+  Interpretation m;
+  m.extents.assign(num_preds, util::DenseBitset(n));
+
+  size_t rule_checks = 0;
+  size_t delta_firings = 0;
+  std::vector<util::DenseBitset> delta(num_preds, util::DenseBitset(n));
+
+  auto derive = [&](PredId p, graph::ObjectId o,
+                    std::vector<util::DenseBitset>* into) {
+    if (!g.IsComplex(o) || m.extents[p].Test(o)) return;
+    m.extents[p].Set(o);
+    (*into)[p].Set(o);
+  };
+
+  // Round 1: IDB-free rules, full scan.
+  for (const Rule& r : program.rules) {
+    bool has_idb = false;
+    for (const Atom& a : r.body) has_idb |= a.kind == Atom::Kind::kIdb;
+    if (has_idb) continue;
+    for (graph::ObjectId o = 0; o < n; ++o) {
+      if (!g.IsComplex(o)) continue;
+      ++rule_checks;
+      if (RuleSatisfied(r, g, m, o)) derive(r.head_pred, o, &delta);
+    }
+  }
+
+  size_t iterations = 1;
+  for (;;) {
+    bool any_delta = false;
+    for (const auto& d : delta) any_delta |= !d.None();
+    if (!any_delta) break;
+    ++iterations;
+    std::vector<util::DenseBitset> next_delta(num_preds,
+                                              util::DenseBitset(n));
+    for (const Rule& r : program.rules) {
+      for (const Atom& a : r.body) {
+        if (a.kind != Atom::Kind::kIdb) continue;
+        delta[a.pred].ForEach([&](size_t x) {
+          ++delta_firings;
+          BodySolver solver(r, g, m);
+          util::DenseBitset heads(n);
+          bool all_heads = false;
+          solver.CollectHeads(a.arg0, static_cast<graph::ObjectId>(x),
+                              &heads, &all_heads);
+          if (all_heads) {
+            for (graph::ObjectId o = 0; o < n; ++o) {
+              derive(r.head_pred, o, &next_delta);
+            }
+          } else {
+            heads.ForEach([&](size_t o) {
+              derive(r.head_pred, static_cast<graph::ObjectId>(o),
+                     &next_delta);
+            });
+          }
+        });
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->rule_checks = rule_checks;
+    stats->delta_firings = delta_firings;
+  }
+  return m;
+}
+
+}  // namespace
+
+bool RuleSatisfied(const Rule& rule, const graph::DataGraph& g,
+                   const Interpretation& m, graph::ObjectId o) {
+  BodySolver solver(rule, g, m);
+  return solver.Solve(o);
+}
+
+util::StatusOr<Interpretation> Evaluate(const Program& program,
+                                        const graph::DataGraph& g,
+                                        const EvalOptions& options,
+                                        EvalStats* stats) {
+  SCHEMEX_RETURN_IF_ERROR(program.Validate());
+  if (options.strategy == Strategy::kSemiNaive &&
+      options.fixpoint == FixpointKind::kLeast) {
+    return SemiNaiveLfp(program, g, stats);
+  }
+  const size_t n = g.NumObjects();
+  const size_t num_preds = program.num_preds();
+
+  Interpretation m;
+  m.extents.assign(num_preds, util::DenseBitset(n));
+  if (options.fixpoint == FixpointKind::kGreatest) {
+    for (auto& ext : m.extents) {
+      if (options.seed_complex_only) {
+        for (graph::ObjectId o = 0; o < n; ++o) {
+          if (g.IsComplex(o)) ext.Set(o);
+        }
+      } else {
+        ext.SetAll();
+      }
+    }
+  }
+
+  // Group rules by head predicate once.
+  std::vector<std::vector<const Rule*>> by_head(num_preds);
+  for (const Rule& r : program.rules) by_head[r.head_pred].push_back(&r);
+
+  size_t iterations = 0;
+  size_t rule_checks = 0;
+  for (;;) {
+    if (options.max_iterations != 0 && iterations >= options.max_iterations) {
+      break;
+    }
+    ++iterations;
+    Interpretation next;
+    next.extents.assign(num_preds, util::DenseBitset(n));
+    for (size_t p = 0; p < num_preds; ++p) {
+      for (const Rule* r : by_head[p]) {
+        if (options.fixpoint == FixpointKind::kGreatest) {
+          // Only objects currently in the extent can remain (descending
+          // iteration), so probe just those.
+          m.extents[p].ForEach([&](size_t o) {
+            if (next.extents[p].Test(o)) return;
+            ++rule_checks;
+            if (RuleSatisfied(*r, g, m, static_cast<graph::ObjectId>(o))) {
+              next.extents[p].Set(o);
+            }
+          });
+        } else {
+          for (graph::ObjectId o = 0; o < n; ++o) {
+            if (next.extents[p].Test(o) || !g.IsComplex(o)) continue;
+            ++rule_checks;
+            if (RuleSatisfied(*r, g, m, o)) next.extents[p].Set(o);
+          }
+        }
+      }
+    }
+    if (next == m) break;
+    m = std::move(next);
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->rule_checks = rule_checks;
+  }
+  return m;
+}
+
+}  // namespace schemex::datalog

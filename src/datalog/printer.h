@@ -1,0 +1,24 @@
+#ifndef SCHEMEX_DATALOG_PRINTER_H_
+#define SCHEMEX_DATALOG_PRINTER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "graph/label.h"
+
+namespace schemex::datalog {
+
+/// Renders one rule in the parseable textual syntax, e.g.
+///   person(X) :- link(X, V1, "is-manager-of"), firm(V1).
+/// Variables print as X (head) and V1, V2, ... (body).
+std::string PrintRule(const Rule& rule, const Program& program,
+                      const graph::LabelInterner& labels);
+
+/// Renders the whole program, one rule per line. The output round-trips
+/// through ParseProgram.
+std::string PrintProgram(const Program& program,
+                         const graph::LabelInterner& labels);
+
+}  // namespace schemex::datalog
+
+#endif  // SCHEMEX_DATALOG_PRINTER_H_

@@ -1,0 +1,154 @@
+#include "extract/extractor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace schemex::extract {
+
+namespace {
+
+using typing::TypeId;
+
+/// Stage-1 (or roles) home sets + weights for clustering.
+struct PreClusterState {
+  typing::TypingProgram program;
+  std::vector<std::vector<TypeId>> homes;  // per object, in program ids
+  std::vector<uint32_t> weights;           // per type: #objects with home
+};
+
+PreClusterState PrepareForClustering(const ExtractorOptions& options,
+                                     const typing::PerfectTypingResult& perfect,
+                                     typing::RoleDecomposition* roles,
+                                     bool* roles_applied) {
+  PreClusterState state;
+  if (options.decompose_roles) {
+    *roles = typing::DecomposeRoles(perfect.program);
+    *roles_applied = true;
+    state.program = roles->program;
+    state.homes = roles->MapHomes(perfect.home);
+  } else {
+    state.program = perfect.program;
+    state.homes.resize(perfect.home.size());
+    for (size_t o = 0; o < perfect.home.size(); ++o) {
+      if (perfect.home[o] != typing::kInvalidType) {
+        state.homes[o] = {perfect.home[o]};
+      }
+    }
+  }
+  state.weights.assign(state.program.NumTypes(), 0);
+  for (const auto& hs : state.homes) {
+    for (TypeId t : hs) ++state.weights[static_cast<size_t>(t)];
+  }
+  return state;
+}
+
+/// Applies a stage1->final type map to home sets, dropping empty-type
+/// entries and deduplicating.
+std::vector<std::vector<TypeId>> MapHomesThrough(
+    const std::vector<std::vector<TypeId>>& homes,
+    const std::vector<TypeId>& map) {
+  std::vector<std::vector<TypeId>> out(homes.size());
+  for (size_t o = 0; o < homes.size(); ++o) {
+    for (TypeId t : homes[o]) {
+      TypeId m = map[static_cast<size_t>(t)];
+      if (m != cluster::kEmptyType) out[o].push_back(m);
+    }
+    std::sort(out[o].begin(), out[o].end());
+    out[o].erase(std::unique(out[o].begin(), out[o].end()), out[o].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<ExtractionResult> SchemaExtractor::Run(
+    const graph::DataGraph& g) const {
+  ExtractionResult result;
+
+  // Stage 1.
+  if (options_.stage1 == ExtractorOptions::Stage1Algorithm::kGfp) {
+    SCHEMEX_ASSIGN_OR_RETURN(result.perfect, typing::PerfectTypingViaGfp(g));
+  } else {
+    SCHEMEX_ASSIGN_OR_RETURN(result.perfect,
+                             typing::PerfectTypingViaRefinement(g));
+  }
+  result.num_perfect_types = result.perfect.program.NumTypes();
+
+  PreClusterState state = PrepareForClustering(
+      options_, result.perfect, &result.roles, &result.roles_applied);
+
+  // Stage 2.
+  if (options_.target_num_types > 0 &&
+      options_.target_num_types < state.program.NumTypes()) {
+    cluster::ClusteringOptions copt;
+    copt.psi = options_.psi;
+    copt.target_num_types = options_.target_num_types;
+    copt.enable_empty_type = options_.enable_empty_type;
+    SCHEMEX_ASSIGN_OR_RETURN(
+        result.clustering,
+        cluster::ClusterTypes(state.program, state.weights, copt));
+    result.clustering_applied = true;
+    result.final_program = result.clustering.final_program;
+    result.final_homes = MapHomesThrough(state.homes,
+                                         result.clustering.final_map);
+  } else {
+    result.final_program = state.program;
+    result.final_homes = state.homes;
+  }
+  result.num_final_types = result.final_program.NumTypes();
+
+  // Stage 3.
+  SCHEMEX_ASSIGN_OR_RETURN(
+      result.recast,
+      typing::Recast(result.final_program, g, result.final_homes,
+                     options_.recast));
+
+  result.defect =
+      typing::ComputeDefect(result.final_program, g, result.recast.assignment);
+  return result;
+}
+
+util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
+    const graph::DataGraph& g, const ExtractorOptions& options,
+    size_t min_k) {
+  // Stage 1 once.
+  typing::PerfectTypingResult perfect;
+  if (options.stage1 == ExtractorOptions::Stage1Algorithm::kGfp) {
+    SCHEMEX_ASSIGN_OR_RETURN(perfect, typing::PerfectTypingViaGfp(g));
+  } else {
+    SCHEMEX_ASSIGN_OR_RETURN(perfect, typing::PerfectTypingViaRefinement(g));
+  }
+  typing::RoleDecomposition roles;
+  bool roles_applied = false;
+  PreClusterState state =
+      PrepareForClustering(options, perfect, &roles, &roles_applied);
+
+  // Stage 2 once, all the way down, recording snapshots.
+  cluster::ClusteringOptions copt;
+  copt.psi = options.psi;
+  copt.target_num_types = std::max<size_t>(min_k, 1);
+  copt.enable_empty_type = options.enable_empty_type;
+  copt.record_snapshots = true;
+  SCHEMEX_ASSIGN_OR_RETURN(
+      cluster::ClusteringResult clustering,
+      cluster::ClusterTypes(state.program, state.weights, copt));
+
+  // Stage 3 + defect per snapshot.
+  std::vector<SensitivityPoint> points;
+  points.reserve(clustering.snapshots.size());
+  for (const cluster::Snapshot& snap : clustering.snapshots) {
+    std::vector<std::vector<TypeId>> homes =
+        MapHomesThrough(state.homes, snap.stage1_to_snapshot);
+    SCHEMEX_ASSIGN_OR_RETURN(
+        typing::RecastResult recast,
+        typing::Recast(snap.program, g, homes, options.recast));
+    typing::DefectReport defect =
+        typing::ComputeDefect(snap.program, g, recast.assignment);
+    points.push_back(SensitivityPoint{snap.num_types, snap.total_distance,
+                                      defect.excess, defect.deficit,
+                                      defect.defect()});
+  }
+  return points;
+}
+
+}  // namespace schemex::extract

@@ -1,0 +1,108 @@
+#ifndef SCHEMEX_EXTRACT_EXTRACTOR_H_
+#define SCHEMEX_EXTRACT_EXTRACTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/greedy.h"
+#include "graph/data_graph.h"
+#include "typing/defect.h"
+#include "typing/perfect_typing.h"
+#include "typing/recast.h"
+#include "typing/roles.h"
+#include "util/statusor.h"
+
+namespace schemex::extract {
+
+/// End-to-end configuration of the three-stage method (§3).
+struct ExtractorOptions {
+  enum class Stage1Algorithm {
+    kGfp,         ///< the paper's candidate-program + extent-merge (§4.1)
+    kRefinement,  ///< scalable partition refinement (bisimulation-style)
+  };
+  Stage1Algorithm stage1 = Stage1Algorithm::kRefinement;
+
+  /// Run the multiple-roles pass (§4.2) between Stages 1 and 2.
+  bool decompose_roles = false;
+
+  /// Weighted distance for Stage 2 (the paper's experiments use psi2, the
+  /// weighted Manhattan distance).
+  cluster::PsiKind psi = cluster::PsiKind::kPsi2;
+
+  /// Number of types to cluster down to. 0 keeps the perfect typing
+  /// (Stage 2 skipped).
+  size_t target_num_types = 0;
+
+  /// Allow Stage 2 to move types to the implicit empty type instead of
+  /// merging them (Example 5.3).
+  bool enable_empty_type = true;
+
+  typing::RecastOptions recast;
+};
+
+/// Everything the pipeline produced, including intermediates for
+/// inspection.
+struct ExtractionResult {
+  /// Stage 1: the minimal perfect typing.
+  typing::PerfectTypingResult perfect;
+
+  /// Multiple-roles pass output (program == perfect.program reduced);
+  /// only meaningful when options.decompose_roles.
+  typing::RoleDecomposition roles;
+  bool roles_applied = false;
+
+  /// Stage 2 output; only meaningful when clustering ran.
+  cluster::ClusteringResult clustering;
+  bool clustering_applied = false;
+
+  /// The program the data was recast into (== perfect/roles program when
+  /// Stage 2 was skipped).
+  typing::TypingProgram final_program;
+
+  /// Per-object home type sets in final_program ids (empty set = object
+  /// moved to the empty type).
+  std::vector<std::vector<typing::TypeId>> final_homes;
+
+  /// Stage 3 output.
+  typing::RecastResult recast;
+
+  /// Defect of the final assignment (Table 1's "Defect" column).
+  typing::DefectReport defect;
+
+  size_t num_perfect_types = 0;
+  size_t num_final_types = 0;
+};
+
+/// Orchestrates Stage 1 -> (roles) -> Stage 2 -> Stage 3 -> defect.
+class SchemaExtractor {
+ public:
+  explicit SchemaExtractor(ExtractorOptions options) : options_(options) {}
+
+  util::StatusOr<ExtractionResult> Run(const graph::DataGraph& g) const;
+
+  const ExtractorOptions& options() const { return options_; }
+
+ private:
+  ExtractorOptions options_;
+};
+
+/// One point of the paper's Figure 6: the typing quality at `k` types.
+struct SensitivityPoint {
+  size_t k;
+  double total_distance;  ///< cumulative greedy clustering cost
+  size_t excess;
+  size_t deficit;
+  size_t defect;
+};
+
+/// Re-runs Stages 2+3 at every k from the perfect-type count down to
+/// `min_k` (single clustering run with snapshots) and measures the defect
+/// at each k — the sliding-scale mechanism of §6 and the curves of
+/// Figure 6. `options.target_num_types` is ignored.
+util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
+    const graph::DataGraph& g, const ExtractorOptions& options,
+    size_t min_k = 1);
+
+}  // namespace schemex::extract
+
+#endif  // SCHEMEX_EXTRACT_EXTRACTOR_H_

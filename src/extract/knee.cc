@@ -1,0 +1,56 @@
+#include "extract/knee.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace schemex::extract {
+
+namespace {
+
+bool InRange(const SensitivityPoint& p, const KneeOptions& options) {
+  return options.max_types == 0 || p.k <= options.max_types;
+}
+
+}  // namespace
+
+Knee FindKnee(const std::vector<SensitivityPoint>& points,
+              const KneeOptions& options) {
+  Knee knee;
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const SensitivityPoint& p : points) {
+    if (InRange(p, options)) best = std::min(best, p.defect);
+  }
+  if (best == std::numeric_limits<size_t>::max()) return knee;  // empty
+  knee.best_defect_in_range = best;
+  double cap = static_cast<double>(best) * options.tolerance;
+  size_t chosen_k = std::numeric_limits<size_t>::max();
+  size_t chosen_defect = 0;
+  for (const SensitivityPoint& p : points) {
+    if (!InRange(p, options)) continue;
+    if (static_cast<double>(p.defect) <= cap && p.k < chosen_k) {
+      chosen_k = p.k;
+      chosen_defect = p.defect;
+    }
+  }
+  knee.k = chosen_k;
+  knee.defect = chosen_defect;
+  return knee;
+}
+
+std::vector<size_t> NaturalTypeCounts(
+    const std::vector<SensitivityPoint>& points, const KneeOptions& options) {
+  Knee knee = FindKnee(points, options);
+  std::vector<size_t> out;
+  if (knee.k == 0) return out;
+  double cap =
+      static_cast<double>(knee.best_defect_in_range) * options.tolerance;
+  for (const SensitivityPoint& p : points) {
+    if (InRange(p, options) && static_cast<double>(p.defect) <= cap) {
+      out.push_back(p.k);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace schemex::extract

@@ -1,0 +1,46 @@
+#ifndef SCHEMEX_EXTRACT_KNEE_H_
+#define SCHEMEX_EXTRACT_KNEE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "extract/extractor.h"
+
+namespace schemex::extract {
+
+/// Knee selection over a sensitivity sweep — §7.2/§8's "optimal number
+/// (or a small range) of types": "the algorithm can find the optimal
+/// trade-off point and suggest a 'natural' typing (or a small set)".
+struct KneeOptions {
+  /// Only consider typings with at most this many types (the regime
+  /// where a typing is usable as a schema). 0 = no cap.
+  size_t max_types = 20;
+
+  /// Accept any k whose defect is within this factor of the best defect
+  /// in range, then prefer the smallest such k (smaller schema at nearly
+  /// the same quality).
+  double tolerance = 1.25;
+};
+
+struct Knee {
+  size_t k = 0;
+  size_t defect = 0;
+  /// The best (minimum) defect seen within the considered range — the
+  /// anchor the tolerance was applied to.
+  size_t best_defect_in_range = 0;
+};
+
+/// Finds the knee. Returns k = 0 on an empty sweep. Points may be in any
+/// order (SensitivitySweep emits them high-k to low-k).
+Knee FindKnee(const std::vector<SensitivityPoint>& points,
+              const KneeOptions& options = {});
+
+/// The §8 "small set" variant: all k (ascending) within tolerance of the
+/// best defect in range — the natural typings worth offering a user.
+std::vector<size_t> NaturalTypeCounts(
+    const std::vector<SensitivityPoint>& points,
+    const KneeOptions& options = {});
+
+}  // namespace schemex::extract
+
+#endif  // SCHEMEX_EXTRACT_KNEE_H_

@@ -1,0 +1,44 @@
+#ifndef SCHEMEX_EXTRACT_PRIOR_H_
+#define SCHEMEX_EXTRACT_PRIOR_H_
+
+#include "extract/extractor.h"
+#include "graph/data_graph.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::extract {
+
+/// The §2 "a priori knowledge" extension: "this may often occur in
+/// practice for instance if we attempt to integrate data with a known
+/// structure to semistructured data discovered on the net."
+///
+/// ExtractWithPrior keeps the user's known types verbatim: objects that
+/// satisfy a prior type (GFP) are claimed by it; the three-stage pipeline
+/// then runs only over the *unclaimed* remainder, and the final program
+/// is the prior followed by the newly discovered types.
+struct PriorExtractionResult {
+  /// Prior types first (ids preserved), discovered types appended.
+  typing::TypingProgram program;
+  size_t num_prior_types = 0;
+  size_t num_new_types = 0;
+
+  /// Complex objects claimed by the prior (in >= 1 prior GFP extent).
+  size_t num_prior_claimed = 0;
+
+  /// Stage 3 over the full database with the merged program.
+  typing::RecastResult recast;
+  typing::DefectReport defect;
+};
+
+/// Runs the pipeline. `options.target_num_types` budgets the NEW types
+/// only. Discovered types describe the unclaimed subgraph: links from
+/// unclaimed objects to claimed ones are not part of their local
+/// pictures (the prior's objects act as an opaque boundary), which keeps
+/// the prior authoritative but can cost some fit — measured by `defect`.
+util::StatusOr<PriorExtractionResult> ExtractWithPrior(
+    const graph::DataGraph& g, const typing::TypingProgram& prior,
+    const ExtractorOptions& options);
+
+}  // namespace schemex::extract
+
+#endif  // SCHEMEX_EXTRACT_PRIOR_H_

@@ -1,0 +1,46 @@
+#ifndef SCHEMEX_EXTRACT_SAMPLED_H_
+#define SCHEMEX_EXTRACT_SAMPLED_H_
+
+#include <cstdint>
+
+#include "extract/extractor.h"
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::extract {
+
+/// Sampling-based extraction for databases too large (or too irregular)
+/// to cluster whole: extract the schema from a uniform sample of complex
+/// objects, then recast the FULL database into it (§3's "process this
+/// large collection in an effective way" via the natural estimator —
+/// the approximate typing of a sample approximates the typing of the
+/// population because type frequencies concentrate).
+struct SampleOptions {
+  /// Number of complex objects to sample (clamped to the population).
+  size_t sample_complex_objects = 2000;
+  uint64_t seed = 1;
+  /// Pipeline configuration applied to the sample.
+  ExtractorOptions extract;
+};
+
+struct SampledExtractionResult {
+  /// Program extracted from the sample (label ids valid for the full
+  /// graph — the sample shares the original label table).
+  typing::TypingProgram program;
+  /// Stage 3 over the FULL database (exact GFP types + nearest-type
+  /// fallback; no homes, since homes only exist for sampled objects).
+  typing::RecastResult recast;
+  typing::DefectReport defect;  ///< measured on the full database
+  size_t sample_complex = 0;
+  size_t sample_edges = 0;
+  size_t sample_perfect_types = 0;
+};
+
+/// Runs the sampled pipeline. The sample keeps every edge between two
+/// sampled complex objects plus every sampled-object -> atomic edge.
+util::StatusOr<SampledExtractionResult> ExtractFromSample(
+    const graph::DataGraph& g, const SampleOptions& options);
+
+}  // namespace schemex::extract
+
+#endif  // SCHEMEX_EXTRACT_SAMPLED_H_

@@ -1,0 +1,96 @@
+#include "gen/dbg.h"
+
+namespace schemex::gen {
+
+DatasetSpec DbgSpec() {
+  // Type indices within the spec.
+  constexpr int kProject = 0;
+  constexpr int kPublication = 1;
+  constexpr int kDbPerson = 2;
+  constexpr int kStudent = 3;
+  constexpr int kBirthday = 4;
+  constexpr int kDegree = 5;
+
+  DatasetSpec spec;
+  spec.name = "dbg";
+  spec.atomic_pool_per_label = 0;  // web pages: every field its own value
+
+  TypeSpec project;
+  project.name = "project";
+  project.count = 15;
+  project.links = {
+      {"name", kAtomicTarget, 1.0},
+      {"home_page", kAtomicTarget, 0.85},
+      {"project_member", kDbPerson, 0.95},
+      {"project_member", kStudent, 0.9},
+  };
+
+  TypeSpec publication;
+  publication.name = "publication";
+  publication.count = 25;
+  publication.links = {
+      {"author", kDbPerson, 1.0},
+      {"name", kAtomicTarget, 1.0},
+      {"conference", kAtomicTarget, 0.95},
+      {"postscript", kAtomicTarget, 0.75},
+  };
+
+  TypeSpec db_person;
+  db_person.name = "db_person";
+  db_person.count = 15;
+  db_person.links = {
+      {"project", kProject, 0.95},
+      {"publication", kPublication, 0.85},
+      {"birthday", kBirthday, 0.7},
+      {"degree", kDegree, 0.75},
+      {"years_at_stanford", kAtomicTarget, 0.9},
+      {"email", kAtomicTarget, 1.0},
+      {"home_page", kAtomicTarget, 0.95},
+      {"title", kAtomicTarget, 0.95},
+      {"name", kAtomicTarget, 1.0},
+      {"original_home", kAtomicTarget, 0.15},
+      {"personal_interest", kAtomicTarget, 0.15},
+      {"research_interest", kAtomicTarget, 0.9},
+  };
+
+  TypeSpec student;
+  student.name = "student";
+  student.count = 18;
+  student.links = {
+      {"project", kProject, 0.95},
+      {"advisor", kDbPerson, 0.95},
+      {"email", kAtomicTarget, 1.0},
+      {"title", kAtomicTarget, 0.85},
+      {"home_page", kAtomicTarget, 0.95},
+      {"name", kAtomicTarget, 1.0},
+      {"nickname", kAtomicTarget, 0.25},
+  };
+
+  TypeSpec birthday;
+  birthday.name = "birthday";
+  birthday.count = 12;
+  birthday.links = {
+      {"month", kAtomicTarget, 1.0},
+      {"day", kAtomicTarget, 1.0},
+      {"year", kAtomicTarget, 0.9},
+  };
+
+  TypeSpec degree;
+  degree.name = "degree";
+  degree.count = 14;
+  degree.links = {
+      {"major", kAtomicTarget, 1.0},
+      {"school", kAtomicTarget, 1.0},
+      {"name", kAtomicTarget, 0.95},
+      {"year", kAtomicTarget, 0.8},
+  };
+
+  spec.types = {project, publication, db_person, student, birthday, degree};
+  return spec;
+}
+
+util::StatusOr<graph::DataGraph> MakeDbgDataset(uint64_t seed) {
+  return Generate(DbgSpec(), seed);
+}
+
+}  // namespace schemex::gen

@@ -1,0 +1,78 @@
+#include "gen/perturb.h"
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace schemex::gen {
+
+util::Status Perturb(graph::DataGraph* g, const PerturbOptions& options,
+                     PerturbStats* stats) {
+  util::Rng rng(options.seed);
+  PerturbStats local;
+
+  // --- Deletions -------------------------------------------------------
+  struct Edge {
+    graph::ObjectId from, to;
+    graph::LabelId label;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(g->NumEdges());
+  for (graph::ObjectId o = 0; o < g->NumObjects(); ++o) {
+    for (const graph::HalfEdge& e : g->OutEdges(o)) {
+      edges.push_back(Edge{o, e.other, e.label});
+    }
+  }
+  std::vector<size_t> victims =
+      rng.SampleIndices(edges.size(), options.delete_links);
+  for (size_t idx : victims) {
+    const Edge& e = edges[idx];
+    SCHEMEX_RETURN_IF_ERROR(g->RemoveEdge(e.from, e.to, e.label));
+    ++local.deleted;
+  }
+
+  // --- Additions -------------------------------------------------------
+  std::vector<graph::LabelId> labels;
+  for (size_t l = 0; l < g->labels().size(); ++l) {
+    labels.push_back(static_cast<graph::LabelId>(l));
+  }
+  for (size_t i = 0; i < options.fresh_labels; ++i) {
+    labels.push_back(
+        g->InternLabel(util::StringPrintf("noise%zu", i)));
+  }
+  std::vector<graph::ObjectId> complex_objects, atomic_objects;
+  for (graph::ObjectId o = 0; o < g->NumObjects(); ++o) {
+    if (g->IsComplex(o)) {
+      complex_objects.push_back(o);
+    } else {
+      atomic_objects.push_back(o);
+    }
+  }
+  if (complex_objects.empty() || labels.empty()) {
+    if (stats != nullptr) *stats = local;
+    return options.add_links == 0
+               ? util::Status::OK()
+               : util::Status::FailedPrecondition(
+                     "cannot add links to a graph without complex objects");
+  }
+  size_t budget = options.add_links * 16;  // collision allowance
+  while (local.added < options.add_links && budget-- > 0) {
+    graph::ObjectId from = complex_objects[static_cast<size_t>(
+        rng.Uniform(complex_objects.size()))];
+    bool to_atomic = !atomic_objects.empty() &&
+                     rng.Bernoulli(options.atomic_target_fraction);
+    graph::ObjectId to =
+        to_atomic ? atomic_objects[static_cast<size_t>(
+                        rng.Uniform(atomic_objects.size()))]
+                  : static_cast<graph::ObjectId>(rng.Uniform(g->NumObjects()));
+    graph::LabelId label =
+        labels[static_cast<size_t>(rng.Uniform(labels.size()))];
+    if (from == to) continue;
+    if (g->AddEdge(from, to, label).ok()) ++local.added;
+  }
+  if (stats != nullptr) *stats = local;
+  return util::Status::OK();
+}
+
+}  // namespace schemex::gen

@@ -1,0 +1,43 @@
+#ifndef SCHEMEX_GEN_PERTURB_H_
+#define SCHEMEX_GEN_PERTURB_H_
+
+#include <cstdint>
+
+#include "graph/data_graph.h"
+#include "util/status.h"
+
+namespace schemex::gen {
+
+/// The paper's §7.1 perturbation: "delete randomly a few links in the
+/// graph and then add some randomly labeled links".
+struct PerturbOptions {
+  size_t delete_links = 0;
+  size_t add_links = 0;
+  uint64_t seed = 1;
+
+  /// Added links draw labels uniformly from the existing label set plus
+  /// this many fresh "noise<i>" labels.
+  size_t fresh_labels = 2;
+
+  /// Probability that an added link's target is an atomic object (noise in
+  /// real web data is mostly stray attributes; links to atomic objects do
+  /// not cascade through the typing the way complex-complex links do).
+  double atomic_target_fraction = 0.75;
+};
+
+/// Summary of what Perturb actually changed (additions can fall short when
+/// random endpoints keep colliding with existing edges).
+struct PerturbStats {
+  size_t deleted = 0;
+  size_t added = 0;
+};
+
+/// Mutates `g` in place. Deletions pick uniform random existing edges;
+/// additions pick a uniform random complex source, uniform random target,
+/// and uniform random label, skipping duplicates and atomic sources.
+util::Status Perturb(graph::DataGraph* g, const PerturbOptions& options,
+                     PerturbStats* stats = nullptr);
+
+}  // namespace schemex::gen
+
+#endif  // SCHEMEX_GEN_PERTURB_H_

@@ -1,0 +1,48 @@
+#include "gen/random_graph.h"
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace schemex::gen {
+
+graph::DataGraph RandomGraph(const RandomGraphOptions& options) {
+  util::Rng rng(options.seed);
+  graph::DataGraph g;
+  std::vector<graph::ObjectId> complex_objects, atomic_objects;
+  complex_objects.reserve(options.num_complex);
+  atomic_objects.reserve(options.num_atomic);
+  for (size_t i = 0; i < options.num_complex; ++i) {
+    complex_objects.push_back(
+        g.AddComplex(util::StringPrintf("c%zu", i)));
+  }
+  for (size_t i = 0; i < options.num_atomic; ++i) {
+    atomic_objects.push_back(
+        g.AddAtomic(util::StringPrintf("v%zu", i)));
+  }
+  std::vector<graph::LabelId> labels;
+  for (size_t l = 0; l < options.num_labels; ++l) {
+    labels.push_back(g.InternLabel(util::StringPrintf("l%zu", l)));
+  }
+  if (complex_objects.empty() || labels.empty()) return g;
+
+  size_t budget = options.num_edges * 8;
+  size_t added = 0;
+  while (added < options.num_edges && budget-- > 0) {
+    graph::ObjectId from = complex_objects[static_cast<size_t>(
+        rng.Uniform(complex_objects.size()))];
+    bool to_atomic = !atomic_objects.empty() &&
+                     rng.Bernoulli(options.atomic_target_fraction);
+    graph::ObjectId to =
+        to_atomic ? atomic_objects[static_cast<size_t>(
+                        rng.Uniform(atomic_objects.size()))]
+                  : complex_objects[static_cast<size_t>(
+                        rng.Uniform(complex_objects.size()))];
+    graph::LabelId label =
+        labels[static_cast<size_t>(rng.Uniform(labels.size()))];
+    if (from == to) continue;
+    if (g.AddEdge(from, to, label).ok()) ++added;
+  }
+  return g;
+}
+
+}  // namespace schemex::gen

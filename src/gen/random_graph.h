@@ -1,0 +1,29 @@
+#ifndef SCHEMEX_GEN_RANDOM_GRAPH_H_
+#define SCHEMEX_GEN_RANDOM_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/data_graph.h"
+
+namespace schemex::gen {
+
+/// Parameters for an unstructured (Erdos–Renyi-flavoured) random labeled
+/// digraph — used by property tests and micro-benchmarks where no
+/// intended schema should exist.
+struct RandomGraphOptions {
+  size_t num_complex = 100;
+  size_t num_atomic = 100;
+  size_t num_edges = 300;
+  size_t num_labels = 5;
+  /// Probability that an edge's target is drawn from the atomic objects.
+  double atomic_target_fraction = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Generates a random graph. Duplicate draws are skipped, so the edge
+/// count can fall slightly short of num_edges on dense settings.
+graph::DataGraph RandomGraph(const RandomGraphOptions& options);
+
+}  // namespace schemex::gen
+
+#endif  // SCHEMEX_GEN_RANDOM_GRAPH_H_

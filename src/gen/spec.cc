@@ -1,0 +1,105 @@
+#include "gen/spec.h"
+
+#include <map>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace schemex::gen {
+
+bool DatasetSpec::IsBipartite() const {
+  for (const TypeSpec& t : types) {
+    for (const ProbLink& l : t.links) {
+      if (l.target != kAtomicTarget) return false;
+    }
+  }
+  return true;
+}
+
+bool DatasetSpec::HasOverlap() const {
+  std::map<std::pair<std::string, int>, size_t> seen;  // link -> first type
+  for (size_t ti = 0; ti < types.size(); ++ti) {
+    for (const ProbLink& l : types[ti].links) {
+      auto key = std::make_pair(l.label, l.target);
+      auto it = seen.find(key);
+      if (it != seen.end() && it->second != ti) return true;
+      seen.emplace(key, ti);
+    }
+  }
+  return false;
+}
+
+util::StatusOr<graph::DataGraph> Generate(const DatasetSpec& spec,
+                                          uint64_t seed) {
+  for (size_t ti = 0; ti < spec.types.size(); ++ti) {
+    for (const ProbLink& l : spec.types[ti].links) {
+      if (l.target != kAtomicTarget &&
+          (l.target < 0 || l.target >= static_cast<int>(spec.types.size()))) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "type %zu link '%s': target %d out of range", ti, l.label.c_str(),
+            l.target));
+      }
+      if (l.probability < 0.0 || l.probability > 1.0) {
+        return util::Status::InvalidArgument("probability outside [0,1]");
+      }
+    }
+    if (spec.types[ti].count == 0) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("type %zu has zero objects", ti));
+    }
+  }
+
+  util::Rng rng(seed);
+  graph::DataGraph g;
+
+  // Complex objects, grouped per type.
+  std::vector<std::vector<graph::ObjectId>> members(spec.types.size());
+  for (size_t ti = 0; ti < spec.types.size(); ++ti) {
+    members[ti].reserve(spec.types[ti].count);
+    for (size_t i = 0; i < spec.types[ti].count; ++i) {
+      members[ti].push_back(g.AddComplex(util::StringPrintf(
+          "%s_%zu", spec.types[ti].name.c_str(), i)));
+    }
+  }
+
+  // Per-label atomic pools (lazy).
+  std::map<std::string, std::vector<graph::ObjectId>> pools;
+  auto atomic_target = [&](const std::string& label) {
+    if (spec.atomic_pool_per_label == 0) {
+      return g.AddAtomic(util::StringPrintf("%s_val_%zu", label.c_str(),
+                                            g.NumObjects()));
+    }
+    std::vector<graph::ObjectId>& pool = pools[label];
+    if (pool.size() < spec.atomic_pool_per_label) {
+      pool.push_back(g.AddAtomic(util::StringPrintf(
+          "%s_val_%zu", label.c_str(), pool.size())));
+      return pool.back();
+    }
+    return pool[static_cast<size_t>(rng.Uniform(pool.size()))];
+  };
+
+  for (size_t ti = 0; ti < spec.types.size(); ++ti) {
+    for (graph::ObjectId o : members[ti]) {
+      for (const ProbLink& l : spec.types[ti].links) {
+        if (!rng.Bernoulli(l.probability)) continue;
+        if (l.target == kAtomicTarget) {
+          // Retry a few times on duplicate (same pooled atom drawn twice).
+          for (int attempt = 0; attempt < 4; ++attempt) {
+            if (g.AddEdge(o, atomic_target(l.label), l.label).ok()) break;
+          }
+        } else {
+          const auto& targets = members[static_cast<size_t>(l.target)];
+          for (int attempt = 0; attempt < 4; ++attempt) {
+            graph::ObjectId t =
+                targets[static_cast<size_t>(rng.Uniform(targets.size()))];
+            if (t == o && targets.size() > 1) continue;  // avoid self loops
+            if (g.AddEdge(o, t, l.label).ok()) break;
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace schemex::gen

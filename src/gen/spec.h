@@ -1,0 +1,62 @@
+#ifndef SCHEMEX_GEN_SPEC_H_
+#define SCHEMEX_GEN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::gen {
+
+/// Marker: a probabilistic link whose target is an atomic object.
+inline constexpr int kAtomicTarget = -1;
+
+/// One outgoing link that objects of a type carry with some probability
+/// (the paper's §7.1 synthetic-data recipe: "type definition with
+/// probability attached to their typed links").
+struct ProbLink {
+  std::string label;
+  int target = kAtomicTarget;  ///< index into DatasetSpec::types, or atomic
+  double probability = 1.0;
+};
+
+/// One intended type of a synthetic dataset.
+struct TypeSpec {
+  std::string name;
+  size_t count = 0;  ///< number of objects to instantiate
+  std::vector<ProbLink> links;
+};
+
+/// A full synthetic-dataset specification. Incoming typed links are not
+/// specified: they emerge from other types' outgoing links.
+struct DatasetSpec {
+  std::string name;
+
+  std::vector<TypeSpec> types;
+
+  /// Atomic objects are drawn from a per-label pool of this size (fresh
+  /// values "<label>_<i>"); 0 means every atomic link gets a fresh atomic
+  /// object. Pools keep object counts near the paper's Table 1 scale.
+  size_t atomic_pool_per_label = 0;
+
+  /// True iff every ProbLink targets kAtomicTarget.
+  bool IsBipartite() const;
+
+  /// True iff two distinct types share an identical (label, target) link —
+  /// the paper's "Overlap?" column.
+  bool HasOverlap() const;
+};
+
+/// Instantiates `spec` with randomness from `seed`: for each object of
+/// each type and each ProbLink, a Bernoulli draw decides whether the link
+/// exists; complex targets are uniform over the target type's objects
+/// (re-drawn on duplicate-edge collisions, then dropped). Object names are
+/// "<type>_<i>".
+util::StatusOr<graph::DataGraph> Generate(const DatasetSpec& spec,
+                                          uint64_t seed);
+
+}  // namespace schemex::gen
+
+#endif  // SCHEMEX_GEN_SPEC_H_

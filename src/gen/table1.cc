@@ -1,0 +1,142 @@
+#include "gen/table1.h"
+
+#include "util/string_util.h"
+
+namespace schemex::gen {
+
+namespace {
+
+/// Bipartite, non-overlapping: 10 intended record types with disjoint
+/// attribute sets; two optional attributes per type produce a handful of
+/// perfect-type variants per intended type (paper DB1: 30 perfect types
+/// from 10 intended).
+DatasetSpec BipartiteDisjointSpec() {
+  DatasetSpec spec;
+  spec.name = "bipartite-disjoint";
+  spec.atomic_pool_per_label = 12;
+  for (int t = 0; t < 10; ++t) {
+    TypeSpec ts;
+    ts.name = util::StringPrintf("rec%d", t);
+    ts.count = 100;
+    ts.links = {
+        {util::StringPrintf("a%d", t), kAtomicTarget, 1.0},
+        {util::StringPrintf("b%d", t), kAtomicTarget, 1.0},
+        {util::StringPrintf("c%d", t), kAtomicTarget, 0.97},
+        {util::StringPrintf("d%d", t), kAtomicTarget, 0.65},
+    };
+    spec.types.push_back(std::move(ts));
+  }
+  return spec;
+}
+
+/// Bipartite, overlapping: 6 intended types sharing attributes ("name",
+/// "id") the way relational tables share column names (paper DB3).
+DatasetSpec BipartiteOverlapSpec() {
+  DatasetSpec spec;
+  spec.name = "bipartite-overlap";
+  spec.atomic_pool_per_label = 25;
+  const char* extra[6] = {"salary", "dept",   "price",
+                          "qty",    "street", "city"};
+  for (int t = 0; t < 6; ++t) {
+    TypeSpec ts;
+    ts.name = util::StringPrintf("tbl%d", t);
+    ts.count = 100;
+    ts.links = {
+        {"name", kAtomicTarget, 1.0},
+        {"id", kAtomicTarget, 1.0},
+        {extra[t], kAtomicTarget, 1.0},
+        {util::StringPrintf("opt%d", t), kAtomicTarget, 0.85},
+    };
+    spec.types.push_back(std::move(ts));
+  }
+  return spec;
+}
+
+/// General graph, non-overlapping: 5 intended types with inter-object
+/// links (manager/report chains); distinct labels per type (paper DB5).
+DatasetSpec GraphDisjointSpec() {
+  DatasetSpec spec;
+  spec.name = "graph-disjoint";
+  spec.atomic_pool_per_label = 15;
+  const size_t kCount = 50;
+  for (int t = 0; t < 5; ++t) {
+    TypeSpec ts;
+    ts.name = util::StringPrintf("node%d", t);
+    ts.count = kCount;
+    ts.links = {
+        {util::StringPrintf("tag%d", t), kAtomicTarget, 1.0},
+        {util::StringPrintf("ref%d", t), (t + 1) % 5, 0.9},
+        {util::StringPrintf("alt%d", t), (t + 2) % 5, 0.5},
+        {util::StringPrintf("val%d", t), kAtomicTarget, 0.5},
+    };
+    spec.types.push_back(std::move(ts));
+  }
+  return spec;
+}
+
+/// General graph, overlapping: 5 intended types sharing both attribute
+/// and reference labels (paper DB7).
+DatasetSpec GraphOverlapSpec() {
+  DatasetSpec spec;
+  spec.name = "graph-overlap";
+  spec.atomic_pool_per_label = 15;
+  const size_t kCount = 50;
+  for (int t = 0; t < 5; ++t) {
+    TypeSpec ts;
+    ts.name = util::StringPrintf("gnode%d", t);
+    ts.count = kCount;
+    ts.links = {
+        {"name", kAtomicTarget, 1.0},
+        {"next", (t + 1) % 5, 0.9},
+        {util::StringPrintf("own%d", t), kAtomicTarget, 0.7},
+        {"meta", kAtomicTarget, 0.5},
+    };
+    spec.types.push_back(std::move(ts));
+  }
+  return spec;
+}
+
+Table1Entry MakeEntry(const char* name, DatasetSpec spec,
+                      size_t intended_types, bool perturbed,
+                      size_t delete_links, size_t add_links, uint64_t seed) {
+  Table1Entry e;
+  e.db_name = name;
+  e.spec = std::move(spec);
+  e.intended_types = intended_types;
+  e.perturbed = perturbed;
+  e.perturb.delete_links = delete_links;
+  e.perturb.add_links = add_links;
+  e.perturb.seed = seed + 1;
+  e.generation_seed = seed;
+  return e;
+}
+
+}  // namespace
+
+std::vector<Table1Entry> Table1Datasets() {
+  std::vector<Table1Entry> rows;
+  rows.push_back(
+      MakeEntry("DB1", BipartiteDisjointSpec(), 10, false, 0, 0, 101));
+  rows.push_back(
+      MakeEntry("DB2", BipartiteDisjointSpec(), 10, true, 12, 40, 101));
+  rows.push_back(
+      MakeEntry("DB3", BipartiteOverlapSpec(), 6, false, 0, 0, 303));
+  rows.push_back(
+      MakeEntry("DB4", BipartiteOverlapSpec(), 6, true, 8, 28, 303));
+  rows.push_back(MakeEntry("DB5", GraphDisjointSpec(), 5, false, 0, 0, 505));
+  rows.push_back(MakeEntry("DB6", GraphDisjointSpec(), 5, true, 6, 22, 505));
+  rows.push_back(MakeEntry("DB7", GraphOverlapSpec(), 5, false, 0, 0, 707));
+  rows.push_back(MakeEntry("DB8", GraphOverlapSpec(), 5, true, 6, 22, 707));
+  return rows;
+}
+
+util::StatusOr<graph::DataGraph> MakeTable1Database(const Table1Entry& entry) {
+  SCHEMEX_ASSIGN_OR_RETURN(graph::DataGraph g,
+                           Generate(entry.spec, entry.generation_seed));
+  if (entry.perturbed) {
+    SCHEMEX_RETURN_IF_ERROR(Perturb(&g, entry.perturb));
+  }
+  return g;
+}
+
+}  // namespace schemex::gen

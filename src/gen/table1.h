@@ -1,0 +1,36 @@
+#ifndef SCHEMEX_GEN_TABLE1_H_
+#define SCHEMEX_GEN_TABLE1_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/perturb.h"
+#include "gen/spec.h"
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::gen {
+
+/// One of the eight synthetic databases of the paper's Table 1. The paper
+/// publishes the generator recipe (§7.1) and the resulting table but not
+/// the exact specs; these specs are tuned to match every published
+/// attribute (bipartite?, overlap?, intended type count, and the rough
+/// object/link scale) so the table's qualitative shape reproduces.
+struct Table1Entry {
+  std::string db_name;       ///< "DB1" .. "DB8"
+  DatasetSpec spec;
+  size_t intended_types;     ///< the paper's "Intended Types" column
+  bool perturbed;            ///< even-numbered DBs
+  PerturbOptions perturb;
+  uint64_t generation_seed;
+};
+
+/// All eight rows, in table order.
+std::vector<Table1Entry> Table1Datasets();
+
+/// Generates (and optionally perturbs) the database for one entry.
+util::StatusOr<graph::DataGraph> MakeTable1Database(const Table1Entry& entry);
+
+}  // namespace schemex::gen
+
+#endif  // SCHEMEX_GEN_TABLE1_H_

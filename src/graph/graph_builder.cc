@@ -1,0 +1,67 @@
+#include "graph/graph_builder.h"
+
+#include "util/string_util.h"
+
+namespace schemex::graph {
+
+ObjectId GraphBuilder::GetOrCreateComplex(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  ObjectId id = graph_.AddComplex(name);
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+util::Status GraphBuilder::Complex(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (graph_.IsAtomic(it->second)) {
+      auto st = util::Status::AlreadyExists(
+          util::StringPrintf("'%.*s' already declared atomic",
+                             static_cast<int>(name.size()), name.data()));
+      if (first_error_.ok()) first_error_ = st;
+      return st;
+    }
+    return util::Status::OK();
+  }
+  GetOrCreateComplex(name);
+  return util::Status::OK();
+}
+
+util::Status GraphBuilder::Atomic(std::string_view name,
+                                  std::string_view value) {
+  if (by_name_.count(std::string(name)) > 0) {
+    auto st = util::Status::AlreadyExists(
+        util::StringPrintf("object '%.*s' already declared",
+                           static_cast<int>(name.size()), name.data()));
+    if (first_error_.ok()) first_error_ = st;
+    return st;
+  }
+  ObjectId id = graph_.AddAtomic(value, name);
+  by_name_.emplace(std::string(name), id);
+  return util::Status::OK();
+}
+
+util::Status GraphBuilder::Edge(std::string_view from, std::string_view label,
+                                std::string_view to) {
+  ObjectId f = GetOrCreateComplex(from);
+  // `to` may legitimately be atomic; only create if missing.
+  ObjectId t;
+  auto it = by_name_.find(std::string(to));
+  t = it != by_name_.end() ? it->second : GetOrCreateComplex(to);
+  util::Status st = graph_.AddEdge(f, t, label);
+  if (!st.ok() && first_error_.ok()) first_error_ = st;
+  return st;
+}
+
+ObjectId GraphBuilder::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidObject : it->second;
+}
+
+DataGraph GraphBuilder::Build(util::Status* status) && {
+  if (status != nullptr) *status = first_error_;
+  return std::move(graph_);
+}
+
+}  // namespace schemex::graph

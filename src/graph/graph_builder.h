@@ -1,0 +1,66 @@
+#ifndef SCHEMEX_GRAPH_GRAPH_BUILDER_H_
+#define SCHEMEX_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/data_graph.h"
+#include "util/status.h"
+
+namespace schemex::graph {
+
+/// Name-keyed convenience layer over DataGraph for hand-written graphs
+/// (tests, examples, the text loader). Objects are referred to by unique
+/// string names; edges may be declared before their endpoints, endpoints
+/// default to complex objects.
+///
+/// Typical use:
+///   GraphBuilder b;
+///   b.Edge("gates", "microsoft", "is-manager-of");
+///   b.Atomic("gates_name", "Gates");
+///   b.Edge("gates", "gates_name", "name");
+///   DataGraph g = std::move(b).Build(&status);
+class GraphBuilder {
+ public:
+  /// Declares (or re-references) a complex object named `name`.
+  /// Fails if `name` was already declared atomic.
+  util::Status Complex(std::string_view name);
+
+  /// Declares an atomic object named `name` with value `value`.
+  /// Fails if `name` already exists (complex or atomic).
+  util::Status Atomic(std::string_view name, std::string_view value);
+
+  /// Declares edge from -label-> to. Unknown endpoint names are implicitly
+  /// created as complex objects. Fails on duplicate edges or if `from` is
+  /// atomic.
+  util::Status Edge(std::string_view from, std::string_view label,
+                    std::string_view to);
+
+  /// Returns the id of `name`, or kInvalidObject if unknown.
+  ObjectId Find(std::string_view name) const;
+
+  /// True iff `name` is declared.
+  bool Has(std::string_view name) const {
+    return Find(name) != kInvalidObject;
+  }
+
+  /// Read access to the graph under construction.
+  const DataGraph& graph() const { return graph_; }
+
+  /// Consumes the builder and returns the finished graph. On builder misuse
+  /// the first error encountered is returned via `status` and the graph is
+  /// still returned as-built so far.
+  DataGraph Build(util::Status* status) &&;
+
+ private:
+  ObjectId GetOrCreateComplex(std::string_view name);
+
+  DataGraph graph_;
+  std::unordered_map<std::string, ObjectId> by_name_;
+  util::Status first_error_;
+};
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_GRAPH_BUILDER_H_

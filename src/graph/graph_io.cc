@@ -1,0 +1,142 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace schemex::graph {
+
+namespace {
+
+std::string EscapeValue(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Parses a quoted value starting at s[pos] == '"'. On success sets *out and
+// returns the index one past the closing quote; returns npos on error.
+size_t ParseQuoted(std::string_view s, size_t pos, std::string* out) {
+  if (pos >= s.size() || s[pos] != '"') return std::string_view::npos;
+  out->clear();
+  for (size_t i = pos + 1; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return std::string_view::npos;
+      char n = s[++i];
+      if (n == 'n') {
+        out->push_back('\n');
+      } else if (n == '"' || n == '\\') {
+        out->push_back(n);
+      } else {
+        return std::string_view::npos;
+      }
+    } else if (c == '"') {
+      return i + 1;
+    } else {
+      out->push_back(c);
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string DisplayName(const DataGraph& g, ObjectId o) {
+  const std::string& n = g.Name(o);
+  if (!n.empty()) return n;
+  return util::StringPrintf("_o%u", o);
+}
+
+}  // namespace
+
+std::string WriteGraph(const DataGraph& g) {
+  std::string out;
+  out += util::StringPrintf("# schemex graph: %zu objects, %zu edges\n",
+                            g.NumObjects(), g.NumEdges());
+  for (ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (g.IsAtomic(o)) {
+      out += "atomic " + DisplayName(g, o) + " " + EscapeValue(g.Value(o)) +
+             "\n";
+    } else {
+      out += "complex " + DisplayName(g, o) + "\n";
+    }
+  }
+  for (ObjectId o = 0; o < g.NumObjects(); ++o) {
+    // Canonical order: by label *name* (label ids depend on interning
+    // order, which a round-trip does not preserve), then by target id.
+    std::vector<HalfEdge> edges(g.OutEdges(o).begin(), g.OutEdges(o).end());
+    std::stable_sort(edges.begin(), edges.end(),
+                     [&](const HalfEdge& a, const HalfEdge& b) {
+                       return g.labels().Name(a.label) <
+                              g.labels().Name(b.label);
+                     });
+    for (const HalfEdge& e : edges) {
+      out += "edge " + DisplayName(g, o) + " " + g.labels().Name(e.label) +
+             " " + DisplayName(g, e.other) + "\n";
+    }
+  }
+  return out;
+}
+
+util::StatusOr<DataGraph> ReadGraph(std::string_view text) {
+  GraphBuilder builder;
+  auto lines = util::Split(text, '\n');
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    std::string_view line = util::Trim(lines[ln]);
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const char* why) {
+      return util::Status::ParseError(
+          util::StringPrintf("line %zu: %s", ln + 1, why));
+    };
+    if (util::StartsWith(line, "atomic ")) {
+      std::string_view rest = util::Trim(line.substr(7));
+      size_t sp = rest.find_first_of(" \t");
+      if (sp == std::string_view::npos) return fail("atomic needs a value");
+      std::string name(util::Trim(rest.substr(0, sp)));
+      std::string_view vpart = util::Trim(rest.substr(sp));
+      std::string value;
+      size_t end = ParseQuoted(vpart, 0, &value);
+      if (end == std::string_view::npos ||
+          !util::Trim(vpart.substr(end)).empty()) {
+        return fail("malformed quoted value");
+      }
+      util::Status st = builder.Atomic(name, value);
+      if (!st.ok()) return fail(st.message().c_str());
+    } else if (util::StartsWith(line, "complex ")) {
+      auto toks = util::SplitWhitespace(line);
+      if (toks.size() != 2) return fail("complex takes exactly one name");
+      util::Status st = builder.Complex(toks[1]);
+      if (!st.ok()) return fail(st.message().c_str());
+    } else if (util::StartsWith(line, "edge ")) {
+      auto toks = util::SplitWhitespace(line);
+      if (toks.size() != 4) return fail("edge takes <from> <label> <to>");
+      util::Status st = builder.Edge(toks[1], toks[2], toks[3]);
+      if (!st.ok()) return fail(st.message().c_str());
+    } else {
+      return fail("unknown directive");
+    }
+  }
+  util::Status st;
+  DataGraph g = std::move(builder).Build(&st);
+  if (!st.ok()) return st;
+  return g;
+}
+
+}  // namespace schemex::graph

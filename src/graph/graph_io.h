@@ -1,0 +1,30 @@
+#ifndef SCHEMEX_GRAPH_GRAPH_IO_H_
+#define SCHEMEX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::graph {
+
+/// Line-oriented text serialization of a DataGraph. Format:
+///
+///   # comment / blank lines ignored
+///   atomic <name> "<value>"       # value uses C-style \" \\ \n escapes
+///   complex <name>
+///   edge <from> <label> <to>
+///
+/// Names are whitespace-free tokens. Objects must be declared before edges
+/// reference them (WriteGraph emits them in that order). Unnamed objects
+/// are written with synthesized names "_o<id>".
+std::string WriteGraph(const DataGraph& g);
+
+/// Parses the text format produced by WriteGraph. Returns ParseError with a
+/// line number on malformed input.
+util::StatusOr<DataGraph> ReadGraph(std::string_view text);
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_GRAPH_IO_H_

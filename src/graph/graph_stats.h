@@ -1,0 +1,41 @@
+#ifndef SCHEMEX_GRAPH_GRAPH_STATS_H_
+#define SCHEMEX_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace schemex::graph {
+
+/// Summary statistics of a DataGraph, used by examples, benches, and the
+/// data generators' self-checks.
+struct GraphStats {
+  size_t num_objects = 0;
+  size_t num_complex = 0;
+  size_t num_atomic = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  bool bipartite = false;
+
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  double avg_out_degree = 0.0;  // over complex objects
+
+  /// Edge count per label, indexed by LabelId.
+  std::vector<size_t> label_histogram;
+
+  /// Number of complex objects with no incoming edges ("roots").
+  size_t num_roots = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const DataGraph& g) const;
+};
+
+/// Computes statistics in one pass over `g`.
+GraphStats ComputeStats(const DataGraph& g);
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_GRAPH_STATS_H_

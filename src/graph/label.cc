@@ -1,0 +1,19 @@
+#include "graph/label.h"
+
+namespace schemex::graph {
+
+LabelId LabelInterner::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelInterner::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+}  // namespace schemex::graph

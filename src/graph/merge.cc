@@ -1,0 +1,23 @@
+#include "graph/merge.h"
+
+namespace schemex::graph {
+
+DataGraph MergeGraphs(const DataGraph& a, const DataGraph& b,
+                      std::vector<ObjectId>* b_offset) {
+  DataGraph out = a;
+  std::vector<ObjectId> remap(b.NumObjects());
+  for (ObjectId o = 0; o < b.NumObjects(); ++o) {
+    remap[o] = b.IsAtomic(o) ? out.AddAtomic(b.Value(o), b.Name(o))
+                             : out.AddComplex(b.Name(o));
+  }
+  for (ObjectId o = 0; o < b.NumObjects(); ++o) {
+    for (const HalfEdge& e : b.OutEdges(o)) {
+      (void)out.AddEdge(remap[o], remap[e.other],
+                        b.labels().Name(e.label));
+    }
+  }
+  if (b_offset != nullptr) *b_offset = std::move(remap);
+  return out;
+}
+
+}  // namespace schemex::graph

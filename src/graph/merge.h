@@ -1,0 +1,20 @@
+#ifndef SCHEMEX_GRAPH_MERGE_H_
+#define SCHEMEX_GRAPH_MERGE_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace schemex::graph {
+
+/// Disjoint union of two databases — the §1 integration scenario's first
+/// step ("integrates data originating from several distinct sources").
+/// Labels with equal names unify; objects stay distinct. `b_offset`
+/// (optional) receives the mapping from b's object ids to ids in the
+/// result (a's ids are unchanged).
+DataGraph MergeGraphs(const DataGraph& a, const DataGraph& b,
+                      std::vector<ObjectId>* b_offset = nullptr);
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_MERGE_H_

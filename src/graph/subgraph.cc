@@ -1,0 +1,37 @@
+#include "graph/subgraph.h"
+
+namespace schemex::graph {
+
+DataGraph InducedSubgraph(const DataGraph& g,
+                          const std::vector<ObjectId>& keep,
+                          const SubgraphOptions& options,
+                          std::vector<ObjectId>* old_to_new) {
+  DataGraph sub;
+  for (size_t l = 0; l < g.labels().size(); ++l) {
+    sub.InternLabel(g.labels().Name(static_cast<LabelId>(l)));
+  }
+  std::vector<ObjectId> remap(g.NumObjects(), kInvalidObject);
+  for (ObjectId o : keep) {
+    if (o >= g.NumObjects() || remap[o] != kInvalidObject) continue;
+    remap[o] = g.IsAtomic(o) ? sub.AddAtomic(g.Value(o), g.Name(o))
+                             : sub.AddComplex(g.Name(o));
+  }
+  for (ObjectId o : keep) {
+    if (o >= g.NumObjects() || g.IsAtomic(o)) continue;
+    for (const HalfEdge& e : g.OutEdges(o)) {
+      if (remap[e.other] == kInvalidObject) {
+        if (!(options.include_atomic_neighbors && g.IsAtomic(e.other))) {
+          continue;
+        }
+        remap[e.other] = sub.AddAtomic(g.Value(e.other), g.Name(e.other));
+      }
+      // Duplicate `keep` entries were skipped above, so this cannot fail,
+      // but stay defensive on principle.
+      (void)sub.AddEdge(remap[o], remap[e.other], e.label);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  return sub;
+}
+
+}  // namespace schemex::graph

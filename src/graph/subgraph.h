@@ -1,0 +1,30 @@
+#ifndef SCHEMEX_GRAPH_SUBGRAPH_H_
+#define SCHEMEX_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace schemex::graph {
+
+struct SubgraphOptions {
+  /// Also pull in atomic objects referenced by kept complex objects (and
+  /// the edges to them), even if not listed in `keep`.
+  bool include_atomic_neighbors = true;
+};
+
+/// Induced subgraph over `keep` (object ids of `g`): keeps every listed
+/// object and every edge whose endpoints are both kept (plus atomic
+/// neighbors when enabled). The subgraph shares `g`'s label table — the
+/// same LabelIds are valid in both, so typing programs transfer.
+///
+/// `old_to_new` (optional) receives a g-sized map to subgraph ids
+/// (kInvalidObject for dropped objects).
+DataGraph InducedSubgraph(const DataGraph& g,
+                          const std::vector<ObjectId>& keep,
+                          const SubgraphOptions& options = {},
+                          std::vector<ObjectId>* old_to_new = nullptr);
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_SUBGRAPH_H_

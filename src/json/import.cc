@@ -1,0 +1,75 @@
+#include "json/import.h"
+
+namespace schemex::json {
+
+namespace {
+
+class Importer {
+ public:
+  explicit Importer(const ImportOptions& options) : options_(options) {}
+
+  graph::DataGraph Take() && { return std::move(g_); }
+
+  graph::ObjectId ImportNode(const Value& v) {
+    switch (v.kind()) {
+      case Value::Kind::kObject: {
+        graph::ObjectId id = g_.AddComplex();
+        for (const auto& [key, field] : v.AsObject()) {
+          Attach(id, key, field);
+        }
+        return id;
+      }
+      case Value::Kind::kArray: {
+        // Array not under a field: wrap in a complex node with item edges.
+        graph::ObjectId id = g_.AddComplex();
+        for (const Value& elem : v.AsArray()) {
+          Attach(id, std::string(options_.root_label), elem);
+        }
+        return id;
+      }
+      default:
+        return g_.AddAtomic(v.ScalarToString());
+    }
+  }
+
+ private:
+  void Attach(graph::ObjectId parent, const std::string& label,
+              const Value& v) {
+    if (v.kind() == Value::Kind::kArray) {
+      for (const Value& elem : v.AsArray()) {
+        if (elem.kind() == Value::Kind::kArray) {
+          // Array-of-arrays: intermediate node keeps nesting observable.
+          graph::ObjectId wrapper = g_.AddComplex();
+          (void)g_.AddEdge(parent, wrapper, label);
+          for (const Value& inner : elem.AsArray()) {
+            Attach(wrapper, "item", inner);
+          }
+        } else {
+          (void)g_.AddEdge(parent, ImportNode(elem), label);
+        }
+      }
+    } else {
+      (void)g_.AddEdge(parent, ImportNode(v), label);
+    }
+  }
+
+  ImportOptions options_;
+  graph::DataGraph g_;
+};
+
+}  // namespace
+
+graph::DataGraph ImportValue(const Value& value,
+                             const ImportOptions& options) {
+  Importer importer(options);
+  importer.ImportNode(value);
+  return std::move(importer).Take();
+}
+
+util::StatusOr<graph::DataGraph> ImportJson(std::string_view text,
+                                            const ImportOptions& options) {
+  SCHEMEX_ASSIGN_OR_RETURN(Value v, Parse(text));
+  return ImportValue(v, options);
+}
+
+}  // namespace schemex::json

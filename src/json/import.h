@@ -1,0 +1,41 @@
+#ifndef SCHEMEX_JSON_IMPORT_H_
+#define SCHEMEX_JSON_IMPORT_H_
+
+#include <string_view>
+
+#include "graph/data_graph.h"
+#include "json/json.h"
+#include "util/statusor.h"
+
+namespace schemex::json {
+
+/// Maps a JSON document into the paper's data model (the natural OEM-style
+/// encoding):
+///  * a JSON object becomes a complex node; each field "k": v becomes an
+///    edge labeled k to v's node;
+///  * a JSON array contributes one edge per element, all carrying the
+///    field's label (semistructured sets; every element gets its own
+///    node, so duplicates remain distinct objects);
+///  * scalars (null/bool/number/string) become atomic objects;
+///  * arrays nested directly inside arrays get an "item" edge via an
+///    intermediate complex node.
+///
+/// A top-level array imports as one complex "root" with an edge labeled
+/// `root_label` per element, so a JSON-lines-style collection of records
+/// becomes the classic "many similar objects" workload of the paper's
+/// introduction.
+struct ImportOptions {
+  std::string_view root_label = "item";
+};
+
+/// Imports an already-parsed value.
+graph::DataGraph ImportValue(const Value& value,
+                             const ImportOptions& options = {});
+
+/// Parses and imports in one step.
+util::StatusOr<graph::DataGraph> ImportJson(std::string_view text,
+                                            const ImportOptions& options = {});
+
+}  // namespace schemex::json
+
+#endif  // SCHEMEX_JSON_IMPORT_H_

@@ -1,0 +1,253 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace schemex::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d, std::string text) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  v.string_ = text.empty() ? util::StringPrintf("%g", d) : std::move(text);
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::Object(std::map<std::string, Value> fields) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(fields);
+  return v;
+}
+
+std::string Value::ScalarToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber:
+    case Kind::kString:
+      return string_;
+    default:
+      return "";
+  }
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::StatusOr<Value> Run() {
+    SkipWs();
+    SCHEMEX_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content");
+    return v;
+  }
+
+ private:
+  util::Status Error(const char* why) const {
+    return util::Status::ParseError(
+        util::StringPrintf("json offset %zu: %s", pos_, why));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  util::StatusOr<Value> ParseValue() {
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      SCHEMEX_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value::String(std::move(s));
+    }
+    if (ConsumeWord("null")) return Value::Null();
+    if (ConsumeWord("true")) return Value::Bool(true);
+    if (ConsumeWord("false")) return Value::Bool(false);
+    return ParseNumber();
+  }
+
+  util::StatusOr<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return Error("malformed number");
+    }
+    return Value::Number(d, std::move(token));
+  }
+
+  util::StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out += e;
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad hex digit in \\u");
+              }
+            }
+            // Minimal UTF-8 encoding (no surrogate pairing).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  util::StatusOr<Value> ParseArray() {
+    Consume('[');
+    std::vector<Value> items;
+    SkipWs();
+    if (Consume(']')) return Value::Array(std::move(items));
+    for (;;) {
+      SkipWs();
+      SCHEMEX_ASSIGN_OR_RETURN(Value v, ParseValue());
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Consume(']')) return Value::Array(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  util::StatusOr<Value> ParseObject() {
+    Consume('{');
+    std::map<std::string, Value> fields;
+    SkipWs();
+    if (Consume('}')) return Value::Object(std::move(fields));
+    for (;;) {
+      SkipWs();
+      SCHEMEX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWs();
+      SCHEMEX_ASSIGN_OR_RETURN(Value v, ParseValue());
+      fields[std::move(key)] = std::move(v);
+      SkipWs();
+      if (Consume('}')) return Value::Object(std::move(fields));
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<Value> Parse(std::string_view text) {
+  Parser p(text);
+  return p.Run();
+}
+
+}  // namespace schemex::json

@@ -1,0 +1,61 @@
+#ifndef SCHEMEX_JSON_JSON_H_
+#define SCHEMEX_JSON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace schemex::json {
+
+/// A parsed JSON value. Objects preserve key order via a sorted map
+/// (duplicate keys: last wins). Numbers are kept as doubles plus their
+/// original text so integer-looking values round-trip.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d, std::string text = "");
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::map<std::string, Value> fields);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_scalar() const {
+    return kind_ != Kind::kArray && kind_ != Kind::kObject;
+  }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::map<std::string, Value>& AsObject() const { return object_; }
+
+  /// Scalar rendering used when importing into atomic objects: "null",
+  /// "true"/"false", the number's original text, or the raw string.
+  std::string ScalarToString() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string value, or number's source text
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Recursive-descent JSON parser (RFC 8259 subset: no \u surrogate-pair
+/// validation beyond basic \uXXXX decoding to UTF-8). Returns ParseError
+/// with an offset on malformed input.
+util::StatusOr<Value> Parse(std::string_view text);
+
+}  // namespace schemex::json
+
+#endif  // SCHEMEX_JSON_JSON_H_

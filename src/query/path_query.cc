@@ -1,0 +1,215 @@
+#include "query/path_query.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bitset.h"
+#include "util/string_util.h"
+
+namespace schemex::query {
+
+namespace {
+
+/// Splits the query on '.' outside of [...] filters and quotes.
+util::StatusOr<std::vector<std::string>> SplitSteps(std::string_view text) {
+  std::vector<std::string> steps;
+  std::string cur;
+  bool in_brackets = false, in_quotes = false;
+  for (char c : text) {
+    if (in_quotes) {
+      cur += c;
+      if (c == '"') in_quotes = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cur += c;
+        break;
+      case '[':
+        if (in_brackets) return util::Status::ParseError("nested '['");
+        in_brackets = true;
+        cur += c;
+        break;
+      case ']':
+        if (!in_brackets) return util::Status::ParseError("stray ']'");
+        in_brackets = false;
+        cur += c;
+        break;
+      case '.':
+        if (in_brackets) {
+          cur += c;
+        } else {
+          steps.push_back(std::move(cur));
+          cur.clear();
+        }
+        break;
+      default:
+        cur += c;
+    }
+  }
+  if (in_quotes) return util::Status::ParseError("unterminated quote");
+  if (in_brackets) return util::Status::ParseError("unterminated '['");
+  steps.push_back(std::move(cur));
+  return steps;
+}
+
+/// Parses the optional trailing [attr="value"] of one step; returns the
+/// step text without it.
+util::StatusOr<std::string_view> SplitFilter(
+    std::string_view step_text, std::optional<ValueFilter>* filter) {
+  size_t open = step_text.find('[');
+  if (open == std::string_view::npos) return step_text;
+  if (step_text.back() != ']') {
+    return util::Status::ParseError("malformed filter");
+  }
+  std::string_view body = step_text.substr(open + 1,
+                                           step_text.size() - open - 2);
+  size_t eq = body.find('=');
+  if (eq == std::string_view::npos) {
+    return util::Status::ParseError("filter needs attr=\"value\"");
+  }
+  std::string_view attr = util::Trim(body.substr(0, eq));
+  std::string_view value = util::Trim(body.substr(eq + 1));
+  if (attr.empty() || value.size() < 2 || value.front() != '"' ||
+      value.back() != '"') {
+    return util::Status::ParseError("filter value must be quoted");
+  }
+  *filter = ValueFilter{std::string(attr),
+                        std::string(value.substr(1, value.size() - 2))};
+  return step_text.substr(0, open);
+}
+
+}  // namespace
+
+util::StatusOr<PathQuery> ParsePathQuery(std::string_view text) {
+  PathQuery q;
+  if (util::Trim(text).empty()) {
+    return util::Status::ParseError("empty query");
+  }
+  SCHEMEX_ASSIGN_OR_RETURN(std::vector<std::string> raw_steps,
+                           SplitSteps(text));
+  for (const std::string& tok : raw_steps) {
+    std::string_view t = util::Trim(tok);
+    if (t.empty()) return util::Status::ParseError("empty step");
+    PathStep step;
+    SCHEMEX_ASSIGN_OR_RETURN(std::string_view head,
+                             SplitFilter(t, &step.filter));
+    head = util::Trim(head);
+    if (head.empty()) {
+      if (!step.filter.has_value()) {
+        return util::Status::ParseError("empty step");
+      }
+      step.kind = PathStep::Kind::kFilterOnly;
+    } else if (head == "*") {
+      step.kind = PathStep::Kind::kAnyOne;
+    } else if (head == "%") {
+      step.kind = PathStep::Kind::kAnyStar;
+    } else {
+      step.kind = PathStep::Kind::kLabel;
+      step.label = std::string(head);
+    }
+    q.steps.push_back(std::move(step));
+  }
+  return q;
+}
+
+namespace {
+
+/// Frontier expansion for one step; kAnyStar computes a reachability
+/// closure.
+util::DenseBitset Advance(const graph::DataGraph& g,
+                          const util::DenseBitset& frontier,
+                          const PathStep& step, QueryStats* stats) {
+  util::DenseBitset next(g.NumObjects());
+  auto expand_one = [&](size_t o, graph::LabelId want, bool any) {
+    ++stats->objects_visited;
+    for (const graph::HalfEdge& e :
+         g.OutEdges(static_cast<graph::ObjectId>(o))) {
+      ++stats->edges_scanned;
+      if (any || e.label == want) next.Set(e.other);
+    }
+  };
+  switch (step.kind) {
+    case PathStep::Kind::kFilterOnly:
+      return frontier;  // the filter is applied by the caller
+    case PathStep::Kind::kLabel: {
+      graph::LabelId l = g.labels().Find(step.label);
+      if (l == graph::kInvalidLabel) return next;  // label absent: empty
+      frontier.ForEach([&](size_t o) { expand_one(o, l, false); });
+      return next;
+    }
+    case PathStep::Kind::kAnyOne:
+      frontier.ForEach(
+          [&](size_t o) { expand_one(o, graph::kInvalidLabel, true); });
+      return next;
+    case PathStep::Kind::kAnyStar: {
+      // BFS closure including the frontier itself.
+      util::DenseBitset seen = frontier;
+      std::deque<graph::ObjectId> work;
+      frontier.ForEach(
+          [&](size_t o) { work.push_back(static_cast<graph::ObjectId>(o)); });
+      while (!work.empty()) {
+        graph::ObjectId o = work.front();
+        work.pop_front();
+        ++stats->objects_visited;
+        for (const graph::HalfEdge& e : g.OutEdges(o)) {
+          ++stats->edges_scanned;
+          if (!seen.Test(e.other)) {
+            seen.Set(e.other);
+            work.push_back(e.other);
+          }
+        }
+      }
+      return seen;
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<graph::ObjectId> EvaluatePathQuery(
+    const graph::DataGraph& g, const PathQuery& q,
+    const std::vector<graph::ObjectId>& starts, QueryStats* stats) {
+  QueryStats local;
+  util::DenseBitset frontier(g.NumObjects());
+  if (starts.empty()) {
+    for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+      if (g.IsComplex(o)) frontier.Set(o);
+    }
+  } else {
+    for (graph::ObjectId o : starts) frontier.Set(o);
+  }
+  for (const PathStep& step : q.steps) {
+    frontier = Advance(g, frontier, step, &local);
+    if (step.filter.has_value()) {
+      graph::LabelId attr = g.labels().Find(step.filter->attr);
+      util::DenseBitset kept(g.NumObjects());
+      if (attr != graph::kInvalidLabel) {
+        frontier.ForEach([&](size_t o) {
+          ++local.objects_visited;
+          if (g.IsAtomic(static_cast<graph::ObjectId>(o))) return;
+          for (const graph::HalfEdge& e :
+               g.OutEdges(static_cast<graph::ObjectId>(o))) {
+            ++local.edges_scanned;
+            if (e.label == attr && g.IsAtomic(e.other) &&
+                g.Value(e.other) == step.filter->value) {
+              kept.Set(o);
+              return;
+            }
+          }
+        });
+      }
+      frontier = std::move(kept);
+    }
+    if (frontier.None()) break;
+  }
+  std::vector<graph::ObjectId> out;
+  frontier.ForEach(
+      [&](size_t o) { out.push_back(static_cast<graph::ObjectId>(o)); });
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace schemex::query

@@ -1,0 +1,69 @@
+#ifndef SCHEMEX_QUERY_PATH_QUERY_H_
+#define SCHEMEX_QUERY_PATH_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+
+namespace schemex::query {
+
+/// A tiny path-expression language over the paper's data model — the
+/// kind of query the paper's introduction wants a schema for ("query
+/// formulation is facilitated by ... using existing structure"):
+///
+///   author.name                follow `author` then `name`
+///   *.name                     any one label, then `name`
+///   author.%                   `author` then zero-or-more labels
+///   [name="Gates"].email       filter the start set by an atomic value,
+///                              then follow `email`
+///   member[dept="cs"].phone    traverse, keep targets whose `dept` is cs
+///
+/// Steps are separated by '.'; a step is a label, '*' (exactly one edge,
+/// any label), '%' (zero or more edges), or a bare filter. Any step may
+/// carry a `[attr="value"]` filter: after traversal, only objects with
+/// an `attr` edge to an atomic holding exactly `value` survive. A query
+/// evaluates from a set of start objects (default: every complex object)
+/// to the set of objects reachable along a matching path.
+struct ValueFilter {
+  std::string attr;
+  std::string value;
+
+  friend bool operator==(const ValueFilter&, const ValueFilter&) = default;
+};
+
+struct PathStep {
+  enum class Kind { kLabel, kAnyOne, kAnyStar, kFilterOnly };
+  Kind kind = Kind::kLabel;
+  std::string label;  // kLabel only
+  std::optional<ValueFilter> filter;
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
+struct PathQuery {
+  std::vector<PathStep> steps;
+};
+
+/// Parses the dotted syntax. Fails on empty steps or empty input.
+util::StatusOr<PathQuery> ParsePathQuery(std::string_view text);
+
+/// Evaluation counters, for the bench comparing evaluators.
+struct QueryStats {
+  size_t edges_scanned = 0;
+  size_t objects_visited = 0;
+};
+
+/// Evaluates `q` starting from `starts` (all complex objects when empty),
+/// returning the sorted set of reachable end objects.
+std::vector<graph::ObjectId> EvaluatePathQuery(
+    const graph::DataGraph& g, const PathQuery& q,
+    const std::vector<graph::ObjectId>& starts = {},
+    QueryStats* stats = nullptr);
+
+}  // namespace schemex::query
+
+#endif  // SCHEMEX_QUERY_PATH_QUERY_H_

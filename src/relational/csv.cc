@@ -1,0 +1,102 @@
+#include "relational/csv.h"
+
+#include "util/string_util.h"
+
+namespace schemex::relational {
+
+size_t Csv::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+util::StatusOr<Csv> ParseCsv(std::string_view text) {
+  Csv csv;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  size_t line = 1;
+
+  auto end_cell = [&]() {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_row = [&]() -> util::Status {
+    end_cell();
+    if (csv.header.empty()) {
+      csv.header = std::move(row);
+      if (csv.header.empty() ||
+          (csv.header.size() == 1 && csv.header[0].empty())) {
+        return util::Status::ParseError("empty header row");
+      }
+    } else {
+      if (row.size() != csv.header.size()) {
+        return util::Status::ParseError(util::StringPrintf(
+            "line %zu: %zu cells, expected %zu", line, row.size(),
+            csv.header.size()));
+      }
+      csv.rows.push_back(std::move(row));
+    }
+    row.clear();
+    return util::Status::OK();
+  };
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      if (c == '\n') ++line;
+      cell += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty() || cell_was_quoted) {
+          return util::Status::ParseError(
+              util::StringPrintf("line %zu: stray quote", line));
+        }
+        in_quotes = true;
+        cell_was_quoted = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // swallowed; the \n ends the row
+        break;
+      case '\n':
+        SCHEMEX_RETURN_IF_ERROR(end_row());
+        ++line;
+        ++i;
+        break;
+      default:
+        cell += c;
+        ++i;
+    }
+  }
+  if (in_quotes) return util::Status::ParseError("unterminated quote");
+  // Final row without trailing newline.
+  if (!cell.empty() || cell_was_quoted || !row.empty()) {
+    SCHEMEX_RETURN_IF_ERROR(end_row());
+  }
+  if (csv.header.empty()) return util::Status::ParseError("empty input");
+  return csv;
+}
+
+}  // namespace schemex::relational

@@ -1,0 +1,33 @@
+#ifndef SCHEMEX_RELATIONAL_CSV_H_
+#define SCHEMEX_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace schemex::relational {
+
+/// A parsed CSV table: a header row plus data rows, all cells as strings.
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t NumColumns() const { return header.size(); }
+  size_t NumRows() const { return rows.size(); }
+
+  /// Column index by name, or npos.
+  size_t FindColumn(std::string_view name) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+/// RFC-4180-flavoured parser: comma separated, double-quote quoting with
+/// "" escapes, \r\n or \n row ends, quoted cells may contain newlines.
+/// Every row must have exactly the header's column count.
+util::StatusOr<Csv> ParseCsv(std::string_view text);
+
+}  // namespace schemex::relational
+
+#endif  // SCHEMEX_RELATIONAL_CSV_H_

@@ -1,0 +1,107 @@
+#include "relational/import.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace schemex::relational {
+
+util::StatusOr<graph::DataGraph> ImportTables(
+    const std::vector<TableSpec>& tables, const ImportOptions& options) {
+  // Parse everything first.
+  std::vector<Csv> parsed;
+  parsed.reserve(tables.size());
+  for (const TableSpec& t : tables) {
+    auto csv = ParseCsv(t.csv_text);
+    if (!csv.ok()) {
+      return util::Status::ParseError(
+          util::StringPrintf("table '%s': %s", t.name.c_str(),
+                             csv.status().message().c_str()));
+    }
+    parsed.push_back(std::move(csv).value());
+  }
+
+  // Index foreign keys by (table index, column index) and validate.
+  std::map<std::pair<size_t, size_t>, const ForeignKey*> fk_by_column;
+  auto table_index = [&](const std::string& name) -> size_t {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i].name == name) return i;
+    }
+    return Csv::npos;
+  };
+  for (const ForeignKey& fk : options.foreign_keys) {
+    size_t from = table_index(fk.from_table);
+    size_t to = table_index(fk.to_table);
+    if (from == Csv::npos || to == Csv::npos) {
+      return util::Status::InvalidArgument(
+          "foreign key references unknown table");
+    }
+    size_t col = parsed[from].FindColumn(fk.from_column);
+    size_t key = parsed[to].FindColumn(fk.to_key_column);
+    if (col == Csv::npos || key == Csv::npos) {
+      return util::Status::InvalidArgument(
+          "foreign key references unknown column");
+    }
+    fk_by_column[{from, col}] = &fk;
+  }
+
+  graph::DataGraph g;
+
+  // Row objects, plus a key-value index per (table, column) for FK
+  // resolution.
+  std::vector<std::vector<graph::ObjectId>> row_ids(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    row_ids[t].reserve(parsed[t].NumRows());
+    for (size_t r = 0; r < parsed[t].NumRows(); ++r) {
+      row_ids[t].push_back(g.AddComplex(
+          util::StringPrintf("%s#%zu", tables[t].name.c_str(), r)));
+    }
+  }
+  // (table, key column, value) -> row object.
+  std::map<std::tuple<size_t, size_t, std::string>, graph::ObjectId> key_index;
+  for (const ForeignKey& fk : options.foreign_keys) {
+    size_t to = table_index(fk.to_table);
+    size_t key = parsed[to].FindColumn(fk.to_key_column);
+    for (size_t r = 0; r < parsed[to].NumRows(); ++r) {
+      key_index.emplace(std::make_tuple(to, key, parsed[to].rows[r][key]),
+                        row_ids[to][r]);
+    }
+  }
+
+  // Attribute edges, with optional atom sharing.
+  std::map<std::pair<std::string, std::string>, graph::ObjectId> atom_pool;
+  auto atom_for = [&](const std::string& column, const std::string& value) {
+    if (!options.share_atoms) return g.AddAtomic(value);
+    auto key = std::make_pair(column, value);
+    auto it = atom_pool.find(key);
+    if (it != atom_pool.end()) return it->second;
+    graph::ObjectId id = g.AddAtomic(value);
+    atom_pool.emplace(std::move(key), id);
+    return id;
+  };
+
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const Csv& csv = parsed[t];
+    for (size_t r = 0; r < csv.NumRows(); ++r) {
+      for (size_t c = 0; c < csv.NumColumns(); ++c) {
+        const std::string& value = csv.rows[r][c];
+        if (value == options.null_literal) continue;
+        auto fk_it = fk_by_column.find({t, c});
+        if (fk_it != fk_by_column.end()) {
+          const ForeignKey& fk = *fk_it->second;
+          size_t to = table_index(fk.to_table);
+          size_t key = parsed[to].FindColumn(fk.to_key_column);
+          auto target = key_index.find(std::make_tuple(to, key, value));
+          if (target == key_index.end()) continue;  // dangling FK: drop
+          (void)g.AddEdge(row_ids[t][r], target->second, csv.header[c]);
+        } else {
+          (void)g.AddEdge(row_ids[t][r], atom_for(csv.header[c], value),
+                          csv.header[c]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace schemex::relational

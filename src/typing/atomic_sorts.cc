@@ -1,0 +1,151 @@
+#include "typing/atomic_sorts.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+namespace {
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeInt(std::string_view v) {
+  if (!v.empty() && (v[0] == '-' || v[0] == '+')) v.remove_prefix(1);
+  return AllDigits(v);
+}
+
+bool LooksLikeReal(std::string_view v) {
+  double d = 0;
+  if (!util::ParseDouble(v, &d)) return false;
+  return v.find_first_of(".eE") != std::string_view::npos;
+}
+
+bool LooksLikeDate(std::string_view v) {
+  // YYYY-MM-DD
+  return v.size() == 10 && AllDigits(v.substr(0, 4)) && v[4] == '-' &&
+         AllDigits(v.substr(5, 2)) && v[7] == '-' && AllDigits(v.substr(8, 2));
+}
+
+bool LooksLikeUrl(std::string_view v) {
+  return util::StartsWith(v, "http://") || util::StartsWith(v, "https://");
+}
+
+bool LooksLikeEmail(std::string_view v) {
+  size_t at = v.find('@');
+  return at != std::string_view::npos && at > 0 && at + 1 < v.size() &&
+         v.find('@', at + 1) == std::string_view::npos &&
+         v.find(' ') == std::string_view::npos;
+}
+
+/// Copies `g`, rewriting each complex->atomic edge label through `relabel`
+/// (which may return the original name to keep it).
+graph::DataGraph RelabelAtomicEdges(
+    const graph::DataGraph& g,
+    const std::function<std::string(graph::LabelId, graph::ObjectId atom)>&
+        relabel) {
+  graph::DataGraph out;
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (g.IsAtomic(o)) {
+      out.AddAtomic(g.Value(o), g.Name(o));
+    } else {
+      out.AddComplex(g.Name(o));
+    }
+  }
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    for (const graph::HalfEdge& e : g.OutEdges(o)) {
+      if (g.IsAtomic(e.other)) {
+        // Refinement can merge two parallel edges (same label, same
+        // target is impossible pre-refinement, so no collisions arise;
+        // ignore AlreadyExists defensively anyway).
+        (void)out.AddEdge(o, e.other, relabel(e.label, e.other));
+      } else {
+        (void)out.AddEdge(o, e.other, g.labels().Name(e.label));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view AtomicSortName(AtomicSort sort) {
+  switch (sort) {
+    case AtomicSort::kInt:
+      return "int";
+    case AtomicSort::kReal:
+      return "real";
+    case AtomicSort::kBool:
+      return "bool";
+    case AtomicSort::kDate:
+      return "date";
+    case AtomicSort::kUrl:
+      return "url";
+    case AtomicSort::kEmail:
+      return "email";
+    case AtomicSort::kString:
+      return "string";
+  }
+  return "string";
+}
+
+AtomicSort ClassifyValue(std::string_view value) {
+  std::string_view v = util::Trim(value);
+  if (v == "true" || v == "false") return AtomicSort::kBool;
+  if (LooksLikeInt(v)) return AtomicSort::kInt;
+  if (LooksLikeReal(v)) return AtomicSort::kReal;
+  if (LooksLikeDate(v)) return AtomicSort::kDate;
+  if (LooksLikeUrl(v)) return AtomicSort::kUrl;
+  if (LooksLikeEmail(v)) return AtomicSort::kEmail;
+  return AtomicSort::kString;
+}
+
+std::string DefaultSortClassifier(std::string_view value) {
+  return std::string(AtomicSortName(ClassifyValue(value)));
+}
+
+graph::DataGraph RefineAtomicSorts(const graph::DataGraph& g,
+                                   const SortClassifier& classifier) {
+  return RelabelAtomicEdges(g, [&](graph::LabelId l, graph::ObjectId atom) {
+    return g.labels().Name(l) + "@" + classifier(g.Value(atom));
+  });
+}
+
+util::StatusOr<graph::DataGraph> RefineByValueEnum(const graph::DataGraph& g,
+                                                   std::string_view label_name,
+                                                   size_t max_distinct) {
+  graph::LabelId target = g.labels().Find(label_name);
+  if (target == graph::kInvalidLabel) {
+    return util::Status::NotFound(
+        util::StringPrintf("label '%.*s' not present",
+                           static_cast<int>(label_name.size()),
+                           label_name.data()));
+  }
+  std::set<std::string> values;
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    for (const graph::HalfEdge& e : g.OutEdges(o)) {
+      if (e.label == target && g.IsAtomic(e.other)) {
+        values.insert(g.Value(e.other));
+      }
+    }
+  }
+  if (values.size() > max_distinct) {
+    return util::Status::FailedPrecondition(util::StringPrintf(
+        "label has %zu distinct values (max %zu); refining would shred "
+        "the schema",
+        values.size(), max_distinct));
+  }
+  return RelabelAtomicEdges(g, [&](graph::LabelId l, graph::ObjectId atom) {
+    if (l != target) return g.labels().Name(l);
+    return g.labels().Name(l) + "=" + g.Value(atom);
+  });
+}
+
+}  // namespace schemex::typing

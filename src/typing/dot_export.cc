@@ -1,0 +1,82 @@
+#include "typing/dot_export.h"
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProgramToDot(const TypingProgram& program,
+                         const graph::LabelInterner& labels,
+                         const DotOptions& options) {
+  std::string out =
+      "digraph " + options.graph_name + " {\n  rankdir=LR;\n  node "
+      "[shape=record, fontsize=10];\n";
+  bool need_atom_node = false;
+
+  for (size_t t = 0; t < program.NumTypes(); ++t) {
+    const TypeDef& def = program.type(static_cast<TypeId>(t));
+    std::string attrs;
+    for (const TypedLink& l : def.signature.links()) {
+      if (l.dir == Direction::kOutgoing && l.target == kAtomicType &&
+          options.inline_atomic_links) {
+        if (!attrs.empty()) attrs += "\\l";
+        attrs += DotEscape(labels.Name(l.label));
+      }
+    }
+    std::string title = DotEscape(def.name);
+    if (t < options.weights.size()) {
+      title += util::StringPrintf(" (%llu)",
+                                  static_cast<unsigned long long>(
+                                      options.weights[t]));
+    }
+    out += util::StringPrintf("  t%zu [label=\"{%s", t, title.c_str());
+    if (!attrs.empty()) out += "|" + attrs + "\\l";
+    out += "}\"];\n";
+  }
+
+  for (size_t t = 0; t < program.NumTypes(); ++t) {
+    const TypeDef& def = program.type(static_cast<TypeId>(t));
+    for (const TypedLink& l : def.signature.links()) {
+      std::string label = DotEscape(labels.Name(l.label));
+      if (l.target == kAtomicType) {
+        if (!options.inline_atomic_links) {
+          need_atom_node = true;
+          out += util::StringPrintf("  t%zu -> atom [label=\"%s\"];\n", t,
+                                    label.c_str());
+        }
+        continue;
+      }
+      if (l.dir == Direction::kOutgoing) {
+        out += util::StringPrintf("  t%zu -> t%d [label=\"%s\"];\n", t,
+                                  l.target, label.c_str());
+      } else {
+        // Declared on the target side: draw from the source type, dashed.
+        out += util::StringPrintf(
+            "  t%d -> t%zu [label=\"%s\", style=dashed];\n", l.target, t,
+            label.c_str());
+      }
+    }
+  }
+  if (need_atom_node) {
+    out += "  atom [label=\"ATOM\", shape=ellipse];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace schemex::typing

@@ -1,0 +1,37 @@
+#ifndef SCHEMEX_TYPING_DOT_EXPORT_H_
+#define SCHEMEX_TYPING_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "typing/typing_program.h"
+
+namespace schemex::typing {
+
+/// Options for rendering a typing program as a Graphviz digraph — the
+/// "graphical query interfaces" use-case the paper motivates typing
+/// with (§1).
+struct DotOptions {
+  /// Per-type object counts shown in node labels (empty = omitted).
+  std::vector<uint64_t> weights;
+
+  /// Atomic-valued links ("->l^0") listed inside the node box; set false
+  /// to draw an explicit ATOM node instead.
+  bool inline_atomic_links = true;
+
+  std::string graph_name = "schema";
+};
+
+/// Renders the program: one node per type (record-style label listing its
+/// atomic attributes) and one edge per inter-type typed link, labeled
+/// with the edge label; incoming links are drawn from their source type
+/// with a dashed style to distinguish declared-incoming from
+/// declared-outgoing.
+std::string ProgramToDot(const TypingProgram& program,
+                         const graph::LabelInterner& labels,
+                         const DotOptions& options = {});
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_DOT_EXPORT_H_

@@ -1,0 +1,68 @@
+#include "typing/explain.h"
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+util::StatusOr<MembershipExplanation> ExplainMembership(
+    const TypingProgram& program, const graph::DataGraph& g,
+    const Extents& m, graph::ObjectId o, TypeId t) {
+  if (t < 0 || static_cast<size_t>(t) >= program.NumTypes()) {
+    return util::Status::InvalidArgument("type id out of range");
+  }
+  MembershipExplanation out;
+  out.object = o;
+  out.type = t;
+  for (const TypedLink& l : program.type(t).signature.links()) {
+    graph::ObjectId witness = graph::kInvalidObject;
+    if (l.dir == Direction::kOutgoing) {
+      for (const graph::HalfEdge& e : g.OutEdges(o)) {
+        if (e.label != l.label) continue;
+        if (l.target == kAtomicType ? g.IsAtomic(e.other)
+                                    : m.Contains(l.target, e.other)) {
+          witness = e.other;
+          break;
+        }
+      }
+    } else {
+      for (const graph::HalfEdge& e : g.InEdges(o)) {
+        if (e.label != l.label) continue;
+        if (m.Contains(l.target, e.other)) {
+          witness = e.other;
+          break;
+        }
+      }
+    }
+    if (witness == graph::kInvalidObject) {
+      return util::Status::FailedPrecondition(util::StringPrintf(
+          "object %u does not satisfy type %d (typed link without "
+          "witness)",
+          o, t));
+    }
+    out.witnesses.push_back(LinkWitness{l, witness});
+  }
+  return out;
+}
+
+std::string MembershipExplanation::ToString(
+    const graph::DataGraph& g, const TypingProgram& program) const {
+  auto obj_name = [&](graph::ObjectId o) {
+    const std::string& n = g.Name(o);
+    return n.empty() ? util::StringPrintf("_o%u", o) : n;
+  };
+  std::string out = util::StringPrintf(
+      "%s : %s because ", obj_name(object).c_str(),
+      program.type(type).name.c_str());
+  if (witnesses.empty()) {
+    out += "its rule body is empty (every object qualifies)";
+    return out;
+  }
+  for (size_t i = 0; i < witnesses.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TypedLinkToString(witnesses[i].link, g.labels()) + " via " +
+           obj_name(witnesses[i].witness);
+  }
+  return out;
+}
+
+}  // namespace schemex::typing

@@ -1,0 +1,44 @@
+#ifndef SCHEMEX_TYPING_EXPLAIN_H_
+#define SCHEMEX_TYPING_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "typing/gfp.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::typing {
+
+/// Why is object o in type t? The greatest-fixpoint semantics justifies
+/// each membership by a witness per typed link ("the type of an object is
+/// justified by the types of objects connected to it", §2); Explain makes
+/// those witnesses inspectable — for debugging extracted schemas and for
+/// surfacing provenance in interfaces.
+struct LinkWitness {
+  TypedLink link;
+  /// The neighbor that satisfies the link (atomic object for ->l^0).
+  graph::ObjectId witness;
+};
+
+struct MembershipExplanation {
+  graph::ObjectId object;
+  TypeId type;
+  std::vector<LinkWitness> witnesses;  ///< one per typed link, in body order
+
+  /// "o4 : type2 because <-a^1 via o1, ->b^0 via o5".
+  std::string ToString(const graph::DataGraph& g,
+                       const TypingProgram& program) const;
+};
+
+/// Explains o's membership in t under extents m (typically ComputeGfp's
+/// output). Fails with FailedPrecondition if o does not satisfy t under
+/// m — there is nothing to explain.
+util::StatusOr<MembershipExplanation> ExplainMembership(
+    const TypingProgram& program, const graph::DataGraph& g,
+    const Extents& m, graph::ObjectId o, TypeId t);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_EXPLAIN_H_

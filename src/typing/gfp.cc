@@ -1,0 +1,169 @@
+#include "typing/gfp.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace schemex::typing {
+
+namespace {
+
+/// Key describing what a typed link consumes: (direction, label, target
+/// type). When an object leaves `target`'s extent, every neighbor across a
+/// matching edge may lose its justification for any type whose signature
+/// contains this key.
+struct DependencyKey {
+  Direction dir;
+  graph::LabelId label;
+  TypeId target;
+
+  friend auto operator<=>(const DependencyKey&, const DependencyKey&) =
+      default;
+};
+
+}  // namespace
+
+bool SatisfiesSignature(const TypeSignature& sig, const graph::DataGraph& g,
+                        const Extents& m, graph::ObjectId o) {
+  for (const TypedLink& l : sig.links()) {
+    bool ok = false;
+    if (l.dir == Direction::kOutgoing) {
+      for (const graph::HalfEdge& e : g.OutEdges(o)) {
+        if (e.label != l.label) continue;
+        if (l.target == kAtomicType ? g.IsAtomic(e.other)
+                                    : m.Contains(l.target, e.other)) {
+          ok = true;
+          break;
+        }
+      }
+    } else {
+      for (const graph::HalfEdge& e : g.InEdges(o)) {
+        if (e.label != l.label) continue;
+        if (m.Contains(l.target, e.other)) {
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
+                                   const graph::DataGraph& g,
+                                   GfpStats* stats) {
+  SCHEMEX_RETURN_IF_ERROR(program.Validate());
+  const size_t n = g.NumObjects();
+  const size_t num_types = program.NumTypes();
+
+  Extents m;
+  m.per_type.assign(num_types, util::DenseBitset(n));
+
+  // --- Step 1: label/direction prefilter. -------------------------------
+  // For each complex object, collect its out- and in-label sets once, then
+  // test every type's label requirements against them.
+  GfpStats local_stats;
+  std::vector<graph::LabelId> out_labels, in_labels;
+  for (graph::ObjectId o = 0; o < n; ++o) {
+    if (!g.IsComplex(o)) continue;
+    out_labels.clear();
+    in_labels.clear();
+    // Track which labels also reach an atomic object (for ->l^0 checks).
+    std::vector<graph::LabelId> out_atomic_labels;
+    for (const graph::HalfEdge& e : g.OutEdges(o)) {
+      out_labels.push_back(e.label);
+      if (g.IsAtomic(e.other)) out_atomic_labels.push_back(e.label);
+    }
+    for (const graph::HalfEdge& e : g.InEdges(o)) in_labels.push_back(e.label);
+    auto uniq = [](std::vector<graph::LabelId>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    uniq(out_labels);
+    uniq(in_labels);
+    uniq(out_atomic_labels);
+    auto has = [](const std::vector<graph::LabelId>& v, graph::LabelId l) {
+      return std::binary_search(v.begin(), v.end(), l);
+    };
+    for (size_t t = 0; t < num_types; ++t) {
+      bool candidate = true;
+      for (const TypedLink& l :
+           program.type(static_cast<TypeId>(t)).signature.links()) {
+        bool present =
+            l.dir == Direction::kOutgoing
+                ? (l.target == kAtomicType ? has(out_atomic_labels, l.label)
+                                           : has(out_labels, l.label))
+                : has(in_labels, l.label);
+        if (!present) {
+          candidate = false;
+          break;
+        }
+      }
+      if (candidate) {
+        m.per_type[t].Set(o);
+        ++local_stats.initial_candidates;
+      }
+    }
+  }
+
+  // --- Step 2: worklist refinement. --------------------------------------
+  // dependents[(dir, label, target)] = types whose signatures contain that
+  // typed link. Note the key's direction is as seen by the *dependent*
+  // object, so when x leaves `target` we walk x's edges in the opposite
+  // direction to find dependents.
+  std::map<DependencyKey, std::vector<TypeId>> dependents;
+  for (size_t t = 0; t < num_types; ++t) {
+    for (const TypedLink& l :
+         program.type(static_cast<TypeId>(t)).signature.links()) {
+      if (l.target == kAtomicType) continue;  // atomic extents never shrink
+      dependents[DependencyKey{l.dir, l.label, l.target}].push_back(
+          static_cast<TypeId>(t));
+    }
+  }
+
+  std::deque<std::pair<graph::ObjectId, TypeId>> work;
+  auto recheck = [&](graph::ObjectId o, TypeId t) {
+    if (!m.per_type[static_cast<size_t>(t)].Test(o)) return;
+    ++local_stats.rechecks;
+    if (!SatisfiesSignature(program.type(t).signature, g, m, o)) {
+      m.per_type[static_cast<size_t>(t)].Clear(o);
+      ++local_stats.removed;
+      work.emplace_back(o, t);
+    }
+  };
+
+  // Initial full check of every candidate pair.
+  for (size_t t = 0; t < num_types; ++t) {
+    std::vector<graph::ObjectId> members;
+    m.per_type[t].ForEach(
+        [&](size_t o) { members.push_back(static_cast<graph::ObjectId>(o)); });
+    for (graph::ObjectId o : members) recheck(o, static_cast<TypeId>(t));
+  }
+
+  while (!work.empty()) {
+    auto [x, t_lost] = work.front();
+    work.pop_front();
+    // x left t_lost. A neighbor o with an OUTGOING l-edge to x depended on
+    // key (kOutgoing, l, t_lost); a neighbor with an INCOMING l-edge from x
+    // depended on key (kIncoming, l, t_lost).
+    for (const graph::HalfEdge& e : g.InEdges(x)) {
+      auto it =
+          dependents.find(DependencyKey{Direction::kOutgoing, e.label, t_lost});
+      if (it == dependents.end()) continue;
+      for (TypeId t : it->second) recheck(e.other, t);
+    }
+    for (const graph::HalfEdge& e : g.OutEdges(x)) {
+      auto it =
+          dependents.find(DependencyKey{Direction::kIncoming, e.label, t_lost});
+      if (it == dependents.end()) continue;
+      for (TypeId t : it->second) recheck(e.other, t);
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return m;
+}
+
+}  // namespace schemex::typing

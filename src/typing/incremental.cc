@@ -1,0 +1,102 @@
+#include "typing/incremental.h"
+
+namespace schemex::typing {
+
+namespace {
+
+/// Witness check under an assignment (not GFP extents): the §6 "assign
+/// the new objects to all types that it satisfies completely" test, where
+/// neighbors count through their *assigned* types.
+bool SatisfiedUnderAssignment(const TypeSignature& sig,
+                              const graph::DataGraph& g,
+                              const TypeAssignment& tau, graph::ObjectId o) {
+  for (const TypedLink& l : sig.links()) {
+    bool ok = false;
+    if (l.dir == Direction::kOutgoing) {
+      for (const graph::HalfEdge& e : g.OutEdges(o)) {
+        if (e.label != l.label) continue;
+        if (l.target == kAtomicType ? g.IsAtomic(e.other)
+                                    : tau.Has(e.other, l.target)) {
+          ok = true;
+          break;
+        }
+      }
+    } else {
+      for (const graph::HalfEdge& e : g.InEdges(o)) {
+        if (e.label != l.label) continue;
+        if (tau.Has(e.other, l.target)) {
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IncrementalTyper::IncrementalTyper(TypingProgram program,
+                                   graph::DataGraph base,
+                                   TypeAssignment assignment)
+    : program_(std::move(program)),
+      graph_(std::move(base)),
+      assignment_(std::move(assignment)) {
+  assignment_.Resize(graph_.NumObjects());
+}
+
+util::StatusOr<IncrementalTyper::TypedObject> IncrementalTyper::AddAndType(
+    const NewObject& object) {
+  // Validate references before mutating anything.
+  for (const auto& [label, target] : object.refs) {
+    if (target >= graph_.NumObjects()) {
+      return util::Status::InvalidArgument("reference target out of range");
+    }
+  }
+  TypedObject result;
+  result.id = graph_.AddComplex(object.name);
+  for (const auto& [label, value] : object.fields) {
+    graph::ObjectId atom = graph_.AddAtomic(value);
+    SCHEMEX_RETURN_IF_ERROR(graph_.AddEdge(result.id, atom, label));
+  }
+  for (const auto& [label, target] : object.refs) {
+    SCHEMEX_RETURN_IF_ERROR(graph_.AddEdge(result.id, target, label));
+  }
+  assignment_.Resize(graph_.NumObjects());
+
+  for (size_t t = 0; t < program_.NumTypes(); ++t) {
+    if (SatisfiedUnderAssignment(
+            program_.type(static_cast<TypeId>(t)).signature, graph_,
+            assignment_, result.id)) {
+      result.exact_types.push_back(static_cast<TypeId>(t));
+    }
+  }
+  ++num_added_;
+  if (!result.exact_types.empty()) {
+    ++num_exact_;
+    for (TypeId t : result.exact_types) assignment_.Assign(result.id, t);
+  } else if (program_.NumTypes() > 0) {
+    result.fallback_type = NearestType(program_, graph_, assignment_,
+                                       result.id, &result.fallback_distance);
+    assignment_.Assign(result.id, result.fallback_type);
+    total_fallback_distance_ += result.fallback_distance;
+  }
+  return result;
+}
+
+double IncrementalTyper::MeanFallbackDistance() const {
+  size_t fallbacks = num_fallback();
+  return fallbacks == 0 ? 0.0
+                        : static_cast<double>(total_fallback_distance_) /
+                              static_cast<double>(fallbacks);
+}
+
+bool IncrementalTyper::RetypeRecommended(double misfit_fraction,
+                                         size_t min_arrivals) const {
+  if (num_added_ < min_arrivals) return false;
+  return static_cast<double>(num_fallback()) >
+         misfit_fraction * static_cast<double>(num_added_);
+}
+
+}  // namespace schemex::typing

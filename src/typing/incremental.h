@@ -1,0 +1,84 @@
+#ifndef SCHEMEX_TYPING_INCREMENTAL_H_
+#define SCHEMEX_TYPING_INCREMENTAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "typing/assignment.h"
+#include "typing/recast.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::typing {
+
+/// Online typing of objects arriving after extraction (§6): "First we
+/// assign the new objects to all types that it satisfies completely. If
+/// the object cannot be assigned any type precisely, then we assign it
+/// to the closest type, in terms of the simple distance function d. Of
+/// course, if we have many new objects we may wish to reconsider the
+/// current typing program."
+///
+/// IncrementalTyper owns a growing copy of the database plus the frozen
+/// typing program, types each arrival by the rule above, and tracks how
+/// well arrivals fit so the caller can decide when re-extraction is due
+/// (the paper leaves "how many new objects is too many" open; we expose
+/// the misfit statistics and a simple threshold helper).
+class IncrementalTyper {
+ public:
+  /// A new complex object: atomic fields (label -> value) plus references
+  /// to existing objects (label -> target id).
+  struct NewObject {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> fields;
+    std::vector<std::pair<std::string, graph::ObjectId>> refs;
+  };
+
+  struct TypedObject {
+    graph::ObjectId id = graph::kInvalidObject;
+    /// Types satisfied completely (empty if none).
+    std::vector<TypeId> exact_types;
+    /// Nearest type when exact_types is empty.
+    TypeId fallback_type = kInvalidType;
+    size_t fallback_distance = 0;
+  };
+
+  /// Takes ownership of a snapshot of the database and the Stage-3
+  /// assignment produced by extraction.
+  IncrementalTyper(TypingProgram program, graph::DataGraph base,
+                   TypeAssignment assignment);
+
+  /// Adds the object and its edges to the database, types it, updates the
+  /// assignment, and returns what happened. Reference targets must exist.
+  util::StatusOr<TypedObject> AddAndType(const NewObject& object);
+
+  size_t num_added() const { return num_added_; }
+  size_t num_exact() const { return num_exact_; }
+  size_t num_fallback() const { return num_added_ - num_exact_; }
+
+  /// Mean nearest-type distance over fallback arrivals (0 if none).
+  double MeanFallbackDistance() const;
+
+  /// True when more than `misfit_fraction` of (at least `min_arrivals`)
+  /// arrivals needed the distance fallback — the signal to re-run
+  /// extraction on the accumulated data.
+  bool RetypeRecommended(double misfit_fraction = 0.25,
+                         size_t min_arrivals = 10) const;
+
+  const graph::DataGraph& graph() const { return graph_; }
+  const TypeAssignment& assignment() const { return assignment_; }
+  const TypingProgram& program() const { return program_; }
+
+ private:
+  TypingProgram program_;
+  graph::DataGraph graph_;
+  TypeAssignment assignment_;
+  size_t num_added_ = 0;
+  size_t num_exact_ = 0;
+  size_t total_fallback_distance_ = 0;
+};
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_INCREMENTAL_H_

@@ -1,0 +1,176 @@
+#include "typing/perfect_typing.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+namespace {
+
+/// Builds the local picture of complex object `o` where complex neighbors
+/// are mapped through `class_of` (candidate ids in the GFP method, block
+/// ids in refinement) and atomic neighbors become kAtomicType targets.
+TypeSignature LocalPicture(const graph::DataGraph& g, graph::ObjectId o,
+                           const std::vector<TypeId>& class_of) {
+  std::vector<TypedLink> links;
+  for (const graph::HalfEdge& e : g.OutEdges(o)) {
+    if (g.IsAtomic(e.other)) {
+      links.push_back(TypedLink::OutAtomic(e.label));
+    } else {
+      links.push_back(TypedLink::Out(e.label, class_of[e.other]));
+    }
+  }
+  for (const graph::HalfEdge& e : g.InEdges(o)) {
+    links.push_back(TypedLink::In(e.label, class_of[e.other]));
+  }
+  return TypeSignature::FromLinks(std::move(links));
+}
+
+PerfectTypingResult AssembleResult(const graph::DataGraph& g,
+                                   const std::vector<TypeId>& class_of,
+                                   size_t num_classes,
+                                   const char* name_prefix) {
+  PerfectTypingResult result;
+  result.home.assign(g.NumObjects(), kInvalidType);
+  result.weight.assign(num_classes, 0);
+
+  // One representative object per class defines the class's rule; its
+  // local picture is expressed directly over class ids.
+  std::vector<graph::ObjectId> representative(num_classes,
+                                              graph::kInvalidObject);
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (!g.IsComplex(o)) continue;
+    TypeId c = class_of[o];
+    result.home[o] = c;
+    ++result.weight[static_cast<size_t>(c)];
+    if (representative[static_cast<size_t>(c)] == graph::kInvalidObject) {
+      representative[static_cast<size_t>(c)] = o;
+    }
+  }
+  for (size_t c = 0; c < num_classes; ++c) {
+    TypeSignature sig = LocalPicture(g, representative[c], class_of);
+    result.program.AddType(util::StringPrintf("%s%zu", name_prefix, c + 1),
+                           std::move(sig));
+  }
+  return result;
+}
+
+}  // namespace
+
+size_t PerfectTypingResult::NumComplexObjects() const {
+  size_t n = 0;
+  for (TypeId t : home) {
+    if (t != kInvalidType) ++n;
+  }
+  return n;
+}
+
+util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
+    const graph::DataGraph& g) {
+  const size_t n = g.NumObjects();
+
+  // Candidate ids: dense over complex objects; candidates double as type
+  // targets in Q_D's rules, so map every object to its candidate id.
+  std::vector<TypeId> candidate(n, kInvalidType);
+  std::vector<graph::ObjectId> complex_objects;
+  for (graph::ObjectId o = 0; o < n; ++o) {
+    if (g.IsComplex(o)) {
+      candidate[o] = static_cast<TypeId>(complex_objects.size());
+      complex_objects.push_back(o);
+    }
+  }
+
+  // Step 1: Q_D — one rule per complex object: its local picture.
+  TypingProgram qd;
+  for (graph::ObjectId o : complex_objects) {
+    qd.AddType(util::StringPrintf("cand%u", o), LocalPicture(g, o, candidate));
+  }
+
+  // Step 2: greatest fixpoint of Q_D.
+  SCHEMEX_ASSIGN_OR_RETURN(Extents m, ComputeGfp(qd, g));
+
+  // Step 3: group candidate types by extent equality. Hash the extents to
+  // buckets, then confirm equality exactly within buckets.
+  std::unordered_map<uint64_t, std::vector<TypeId>> buckets;
+  auto extent_hash = [&](TypeId t) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    m.per_type[static_cast<size_t>(t)].ForEach([&](size_t o) {
+      h = (h ^ (o + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
+    });
+    return h;
+  };
+  std::vector<TypeId> class_of_candidate(complex_objects.size(),
+                                         kInvalidType);
+  size_t num_classes = 0;
+  for (size_t t = 0; t < complex_objects.size(); ++t) {
+    TypeId tid = static_cast<TypeId>(t);
+    uint64_t h = extent_hash(tid);
+    TypeId found = kInvalidType;
+    for (TypeId other : buckets[h]) {
+      if (m.per_type[static_cast<size_t>(other)] ==
+          m.per_type[static_cast<size_t>(tid)]) {
+        found = class_of_candidate[static_cast<size_t>(other)];
+        break;
+      }
+    }
+    if (found == kInvalidType) {
+      found = static_cast<TypeId>(num_classes++);
+      buckets[h].push_back(tid);
+    }
+    class_of_candidate[t] = found;
+  }
+
+  // Rewrite: class of each object = class of its candidate.
+  std::vector<TypeId> class_of(n, kInvalidType);
+  for (graph::ObjectId o = 0; o < n; ++o) {
+    if (g.IsComplex(o)) {
+      class_of[o] = class_of_candidate[static_cast<size_t>(candidate[o])];
+    }
+  }
+  return AssembleResult(g, class_of, num_classes, "type");
+}
+
+util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
+    const graph::DataGraph& g) {
+  const size_t n = g.NumObjects();
+  std::vector<TypeId> block(n, kInvalidType);
+  std::vector<graph::ObjectId> complex_objects;
+  for (graph::ObjectId o = 0; o < n; ++o) {
+    if (g.IsComplex(o)) {
+      block[o] = 0;
+      complex_objects.push_back(o);
+    }
+  }
+  size_t num_blocks = complex_objects.empty() ? 0 : 1;
+
+  // Iterate: split blocks by (previous block, local picture over previous
+  // blocks). Partitions only get finer, so the block count is a monotone
+  // progress measure; stop when a round does not increase it.
+  for (;;) {
+    using Key = std::pair<TypeId, TypeSignature>;
+    std::map<Key, TypeId> next_id;
+    std::vector<TypeId> next_block(n, kInvalidType);
+    for (graph::ObjectId o : complex_objects) {
+      Key key{block[o], LocalPicture(g, o, block)};  // split within old block
+      auto it = next_id.try_emplace(std::move(key),
+                                    static_cast<TypeId>(next_id.size()))
+                    .first;
+      next_block[o] = it->second;
+    }
+    size_t next_count = next_id.size();
+    block = std::move(next_block);
+    if (next_count == num_blocks) break;
+    num_blocks = next_count;
+  }
+  return AssembleResult(g, block, num_blocks, "type");
+}
+
+util::StatusOr<Extents> PerfectTypingExtents(const PerfectTypingResult& r,
+                                             const graph::DataGraph& g) {
+  return ComputeGfp(r.program, g);
+}
+
+}  // namespace schemex::typing

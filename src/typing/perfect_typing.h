@@ -1,0 +1,62 @@
+#ifndef SCHEMEX_TYPING_PERFECT_TYPING_H_
+#define SCHEMEX_TYPING_PERFECT_TYPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "typing/gfp.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::typing {
+
+/// Output of Stage 1 (§4): the minimal perfect typing program plus the
+/// *home type* of every object.
+struct PerfectTypingResult {
+  TypingProgram program;
+
+  /// Per object: the home type, or kInvalidType for atomic objects.
+  std::vector<TypeId> home;
+
+  /// Per type: number of objects whose home it is (the clustering weights
+  /// of Stage 2).
+  std::vector<uint32_t> weight;
+
+  /// Number of complex objects typed.
+  size_t NumComplexObjects() const;
+};
+
+/// The paper's §4.1 algorithm, literally:
+///  1. build the candidate program Q_D with one type per complex object
+///     whose rule is the object's local picture,
+///  2. compute the greatest fixpoint M of Q_D,
+///  3. merge candidate types with equal extents (Remark 4.1) and rewrite
+///     one representative rule per equivalence class.
+///
+/// Exact but O(N^2)-ish; intended for small/medium databases and as the
+/// reference the refinement algorithm is tested against.
+util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
+    const graph::DataGraph& g);
+
+/// Scalable Stage 1 via partition refinement (the bisimulation-style
+/// computation of §4.1 "Computational Efficiency"): start with one block
+/// of all complex objects and repeatedly split blocks by the set of
+/// (direction, label, neighbor-block) triples until stable. Produces the
+/// coarsest partition where equivalent objects have identical local
+/// pictures up to the partition — the same partition PerfectTypingViaGfp
+/// computes on databases where extent-equality coincides with local-
+/// picture-equality (verified against the GFP method in tests).
+util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
+    const graph::DataGraph& g);
+
+/// Convenience: extents of the result program under GFP semantics. Because
+/// typing rules have no negation, extents may overlap and strictly contain
+/// the home sets (§4.2): an object with *more* links than its home type
+/// requires also satisfies the richer types' generalizations.
+util::StatusOr<Extents> PerfectTypingExtents(const PerfectTypingResult& r,
+                                             const graph::DataGraph& g);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_PERFECT_TYPING_H_

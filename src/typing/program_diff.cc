@@ -1,0 +1,91 @@
+#include "typing/program_diff.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+ProgramDiff DiffPrograms(const TypingProgram& before,
+                         const TypingProgram& after,
+                         size_t max_match_distance) {
+  const size_t nb = before.NumTypes();
+  const size_t na = after.NumTypes();
+  std::vector<bool> used_b(nb, false), used_a(na, false);
+  ProgramDiff diff;
+
+  // Greedy global closest-pair matching. O(n^3) worst case; programs
+  // after Stage 2 are small by design.
+  for (;;) {
+    size_t best_d = std::numeric_limits<size_t>::max();
+    size_t bi = nb, ai = na;
+    for (size_t b = 0; b < nb; ++b) {
+      if (used_b[b]) continue;
+      for (size_t a = 0; a < na; ++a) {
+        if (used_a[a]) continue;
+        size_t d = TypeSignature::SymmetricDifferenceSize(
+            before.type(static_cast<TypeId>(b)).signature,
+            after.type(static_cast<TypeId>(a)).signature);
+        if (d < best_d) {
+          best_d = d;
+          bi = b;
+          ai = a;
+        }
+      }
+    }
+    if (bi == nb || best_d > max_match_distance) break;
+    used_b[bi] = true;
+    used_a[ai] = true;
+    diff.matched.push_back(TypeMatch{static_cast<TypeId>(bi),
+                                     static_cast<TypeId>(ai), best_d});
+    diff.total_drift += best_d;
+  }
+  std::sort(diff.matched.begin(), diff.matched.end(),
+            [](const TypeMatch& x, const TypeMatch& y) {
+              return x.before < y.before;
+            });
+  for (size_t b = 0; b < nb; ++b) {
+    if (!used_b[b]) diff.removed.push_back(static_cast<TypeId>(b));
+  }
+  for (size_t a = 0; a < na; ++a) {
+    if (!used_a[a]) diff.added.push_back(static_cast<TypeId>(a));
+  }
+  return diff;
+}
+
+std::string ProgramDiff::ToString(const TypingProgram& before,
+                                  const TypingProgram& after,
+                                  const graph::LabelInterner& labels) const {
+  std::string out;
+  for (const TypeMatch& m : matched) {
+    const TypeDef& b = before.type(m.before);
+    const TypeDef& a = after.type(m.after);
+    if (m.distance == 0) {
+      out += util::StringPrintf("= %s\n", b.name.c_str());
+      continue;
+    }
+    out += util::StringPrintf("~ %s -> %s (%zu links changed)\n",
+                              b.name.c_str(), a.name.c_str(), m.distance);
+    for (const TypedLink& l : b.signature.links()) {
+      if (!a.signature.Contains(l)) {
+        out += "    - " + TypedLinkToString(l, labels) + "\n";
+      }
+    }
+    for (const TypedLink& l : a.signature.links()) {
+      if (!b.signature.Contains(l)) {
+        out += "    + " + TypedLinkToString(l, labels) + "\n";
+      }
+    }
+  }
+  for (TypeId t : removed) {
+    out += util::StringPrintf("- %s\n", before.type(t).name.c_str());
+  }
+  for (TypeId t : added) {
+    out += util::StringPrintf("+ %s\n", after.type(t).name.c_str());
+  }
+  if (out.empty()) out = "(no differences)\n";
+  return out;
+}
+
+}  // namespace schemex::typing

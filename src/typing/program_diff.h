@@ -1,0 +1,52 @@
+#ifndef SCHEMEX_TYPING_PROGRAM_DIFF_H_
+#define SCHEMEX_TYPING_PROGRAM_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+#include "typing/typing_program.h"
+
+namespace schemex::typing {
+
+/// Structural diff between two typing programs — e.g. schemas extracted
+/// from two crawls of the same source, to see how the implicit structure
+/// drifted. Types are matched greedily by minimal simple distance d
+/// between rule bodies (ties to lower ids); leftovers on either side are
+/// additions/removals.
+struct TypeMatch {
+  TypeId before;
+  TypeId after;
+  size_t distance;  ///< d(before.signature, after.signature)
+
+  friend bool operator==(const TypeMatch&, const TypeMatch&) = default;
+};
+
+struct ProgramDiff {
+  std::vector<TypeMatch> matched;   ///< sorted by `before`
+  std::vector<TypeId> removed;      ///< types of `before` with no partner
+  std::vector<TypeId> added;        ///< types of `after` with no partner
+
+  /// Sum of matched distances — 0 iff matched types are body-identical.
+  size_t total_drift = 0;
+
+  bool identical() const {
+    return removed.empty() && added.empty() && total_drift == 0;
+  }
+
+  /// Human-readable report ("~ person: 2 links changed", "+ blog", ...).
+  std::string ToString(const TypingProgram& before,
+                       const TypingProgram& after,
+                       const graph::LabelInterner& labels) const;
+};
+
+/// Matching is size-bounded greedy: repeatedly pair the globally closest
+/// (before, after) types until one side runs out or the closest pair is
+/// farther than `max_match_distance` (then the rest are adds/removes).
+ProgramDiff DiffPrograms(const TypingProgram& before,
+                         const TypingProgram& after,
+                         size_t max_match_distance = 1000);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_PROGRAM_DIFF_H_

@@ -1,0 +1,20 @@
+#include "typing/program_io.h"
+
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+
+namespace schemex::typing {
+
+std::string WriteTypingProgram(const TypingProgram& program,
+                               const graph::LabelInterner& labels) {
+  return datalog::PrintProgram(program.ToDatalog(), labels);
+}
+
+util::StatusOr<TypingProgram> ReadTypingProgram(std::string_view text,
+                                                graph::LabelInterner* labels) {
+  SCHEMEX_ASSIGN_OR_RETURN(datalog::Program p,
+                           datalog::ParseProgram(text, labels));
+  return TypingProgram::FromDatalog(p);
+}
+
+}  // namespace schemex::typing

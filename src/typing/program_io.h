@@ -1,0 +1,32 @@
+#ifndef SCHEMEX_TYPING_PROGRAM_IO_H_
+#define SCHEMEX_TYPING_PROGRAM_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/label.h"
+#include "typing/typing_program.h"
+#include "util/statusor.h"
+
+namespace schemex::typing {
+
+/// Serializes a typing program as monadic datalog text (the same syntax
+/// datalog::ParseProgram accepts), so extracted schemas can be stored,
+/// versioned, and re-applied to future data:
+///
+///   person(X) :- link(X, V1, "is-manager-of"), firm(V1), ...
+///
+/// Round-trips through ReadTypingProgram up to variable naming.
+std::string WriteTypingProgram(const TypingProgram& program,
+                               const graph::LabelInterner& labels);
+
+/// Parses datalog text back into a TypingProgram. Fails with
+/// InvalidArgument if any rule falls outside the paper's typed-link
+/// fragment. Labels are interned into `labels` (share the target
+/// DataGraph's interner so label ids line up).
+util::StatusOr<TypingProgram> ReadTypingProgram(std::string_view text,
+                                                graph::LabelInterner* labels);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_PROGRAM_IO_H_

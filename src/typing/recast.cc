@@ -1,0 +1,86 @@
+#include "typing/recast.h"
+
+namespace schemex::typing {
+
+TypeSignature ObjectPicture(const graph::DataGraph& g,
+                            const TypeAssignment& tau, graph::ObjectId o) {
+  std::vector<TypedLink> links;
+  for (const graph::HalfEdge& e : g.OutEdges(o)) {
+    if (g.IsAtomic(e.other)) {
+      links.push_back(TypedLink::OutAtomic(e.label));
+    } else {
+      for (TypeId t : tau.TypesOf(e.other)) {
+        links.push_back(TypedLink::Out(e.label, t));
+      }
+    }
+  }
+  for (const graph::HalfEdge& e : g.InEdges(o)) {
+    for (TypeId t : tau.TypesOf(e.other)) {
+      links.push_back(TypedLink::In(e.label, t));
+    }
+  }
+  return TypeSignature::FromLinks(std::move(links));
+}
+
+TypeId NearestType(const TypingProgram& program, const graph::DataGraph& g,
+                   const TypeAssignment& tau, graph::ObjectId o,
+                   size_t* out_distance) {
+  TypeSignature picture = ObjectPicture(g, tau, o);
+  TypeId best = kInvalidType;
+  size_t best_d = 0;
+  for (size_t t = 0; t < program.NumTypes(); ++t) {
+    size_t d = TypeSignature::SymmetricDifferenceSize(
+        picture, program.type(static_cast<TypeId>(t)).signature);
+    if (best == kInvalidType || d < best_d) {
+      best = static_cast<TypeId>(t);
+      best_d = d;
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best_d;
+  return best;
+}
+
+util::StatusOr<RecastResult> Recast(
+    const TypingProgram& program, const graph::DataGraph& g,
+    const std::vector<std::vector<TypeId>>& homes,
+    const RecastOptions& options) {
+  RecastResult result;
+  SCHEMEX_ASSIGN_OR_RETURN(result.gfp, ComputeGfp(program, g));
+
+  result.assignment = TypeAssignment(g.NumObjects());
+  for (size_t o = 0; o < homes.size(); ++o) {
+    for (TypeId t : homes[o]) {
+      result.assignment.Assign(static_cast<graph::ObjectId>(o), t);
+    }
+  }
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (!g.IsComplex(o)) continue;
+    bool exact = false;
+    for (size_t t = 0; t < program.NumTypes(); ++t) {
+      if (result.gfp.Contains(static_cast<TypeId>(t), o)) {
+        exact = true;
+        if (options.add_gfp_types) {
+          result.assignment.Assign(o, static_cast<TypeId>(t));
+        }
+      }
+    }
+    if (exact) ++result.num_exact;
+  }
+
+  // Fallback pass runs against the assignment built so far, so pictures of
+  // stragglers see their neighbors' final types.
+  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+    if (!g.IsComplex(o)) continue;
+    if (!result.assignment.TypesOf(o).empty()) continue;
+    if (options.nearest_type_fallback && program.NumTypes() > 0) {
+      TypeId t = NearestType(program, g, result.assignment, o);
+      result.assignment.Assign(o, t);
+      ++result.num_fallback;
+    } else {
+      ++result.num_untyped;
+    }
+  }
+  return result;
+}
+
+}  // namespace schemex::typing

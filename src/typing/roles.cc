@@ -1,0 +1,154 @@
+#include "typing/roles.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace schemex::typing {
+
+namespace {
+
+/// Greedy set cover of `target` using signatures from `candidates`
+/// (indices into program). Returns chosen candidate indices, or empty if
+/// no full cover exists.
+std::vector<TypeId> GreedyCover(const TypingProgram& program,
+                                const TypeSignature& target,
+                                const std::vector<TypeId>& candidates) {
+  std::vector<TypeId> chosen;
+  TypeSignature covered;
+  while (covered.size() < target.size()) {
+    TypeId best = kInvalidType;
+    size_t best_gain = 0;
+    for (TypeId s : candidates) {
+      if (std::find(chosen.begin(), chosen.end(), s) != chosen.end()) continue;
+      const TypeSignature& sig = program.type(s).signature;
+      size_t gain = 0;
+      for (const TypedLink& l : sig.links()) {
+        if (!covered.Contains(l)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == kInvalidType) return {};  // stuck: no full cover
+    chosen.push_back(best);
+    covered = TypeSignature::Union(covered, program.type(best).signature);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+RoleDecomposition DecomposeRoles(const TypingProgram& program,
+                                 size_t min_cover_size) {
+  const size_t n = program.NumTypes();
+  std::vector<bool> eliminated(n, false);
+  std::vector<std::vector<TypeId>> raw_cover(n);  // old ids
+
+  // Process in decreasing signature size so that a composite type is
+  // decided before any type it could cover.
+  std::vector<TypeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](TypeId a, TypeId b) {
+    return program.type(a).signature.size() > program.type(b).signature.size();
+  });
+
+  for (TypeId t : order) {
+    const TypeSignature& sig = program.type(t).signature;
+    if (sig.size() < 2) continue;
+    std::vector<TypeId> candidates;
+    for (size_t s = 0; s < n; ++s) {
+      TypeId sid = static_cast<TypeId>(s);
+      if (sid == t || eliminated[s]) continue;
+      const TypeSignature& ssig = program.type(sid).signature;
+      if (ssig.size() < sig.size() && !ssig.empty() && ssig.IsSubsetOf(sig)) {
+        candidates.push_back(sid);
+      }
+    }
+    std::vector<TypeId> cover = GreedyCover(program, sig, candidates);
+    if (cover.size() >= min_cover_size) {
+      eliminated[static_cast<size_t>(t)] = true;
+      raw_cover[static_cast<size_t>(t)] = std::move(cover);
+    }
+  }
+
+  // Resolve covers transitively: a cover member eliminated later (it is
+  // strictly smaller, so processed after t) is replaced by its own cover.
+  auto resolve = [&](TypeId t) {
+    std::vector<TypeId> out;
+    std::vector<TypeId> stack = raw_cover[static_cast<size_t>(t)];
+    while (!stack.empty()) {
+      TypeId s = stack.back();
+      stack.pop_back();
+      if (eliminated[static_cast<size_t>(s)]) {
+        for (TypeId c : raw_cover[static_cast<size_t>(s)]) stack.push_back(c);
+      } else {
+        out.push_back(s);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+
+  RoleDecomposition result;
+  result.type_map.assign(n, kInvalidType);
+  result.covers.assign(n, {});
+
+  // Survivor ids in original order.
+  for (size_t t = 0; t < n; ++t) {
+    if (!eliminated[t]) {
+      result.type_map[t] =
+          static_cast<TypeId>(result.program.NumTypes());
+      result.program.AddType(program.type(static_cast<TypeId>(t)).name,
+                             program.type(static_cast<TypeId>(t)).signature);
+    } else {
+      ++result.num_eliminated;
+    }
+  }
+
+  // Old-target -> new-target map: survivors map through; eliminated types
+  // map to their largest surviving cover member.
+  std::vector<TypeId> target_map(n);
+  for (size_t t = 0; t < n; ++t) {
+    if (!eliminated[t]) {
+      target_map[t] = result.type_map[t];
+      continue;
+    }
+    std::vector<TypeId> cover = resolve(static_cast<TypeId>(t));
+    result.covers[t].reserve(cover.size());
+    for (TypeId c : cover) result.covers[t].push_back(result.type_map[c]);
+    TypeId biggest = cover.empty() ? kInvalidType : cover[0];
+    for (TypeId c : cover) {
+      if (program.type(c).signature.size() >
+          program.type(biggest).signature.size()) {
+        biggest = c;
+      }
+    }
+    target_map[t] =
+        biggest == kInvalidType ? kInvalidType : result.type_map[biggest];
+  }
+  for (size_t t = 0; t < result.program.NumTypes(); ++t) {
+    result.program.type(static_cast<TypeId>(t))
+        .signature.RemapTargets(target_map);
+  }
+  return result;
+}
+
+std::vector<std::vector<TypeId>> RoleDecomposition::MapHomes(
+    const std::vector<TypeId>& home) const {
+  std::vector<std::vector<TypeId>> out(home.size());
+  for (size_t o = 0; o < home.size(); ++o) {
+    TypeId h = home[o];
+    if (h == kInvalidType) continue;
+    if (type_map[static_cast<size_t>(h)] != kInvalidType) {
+      out[o] = {type_map[static_cast<size_t>(h)]};
+    } else {
+      out[o] = covers[static_cast<size_t>(h)];
+    }
+  }
+  return out;
+}
+
+}  // namespace schemex::typing

@@ -1,0 +1,49 @@
+#ifndef SCHEMEX_TYPING_ROLES_H_
+#define SCHEMEX_TYPING_ROLES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "typing/typing_program.h"
+
+namespace schemex::typing {
+
+/// Result of the multiple-roles pass (§4.2, Example 4.3): complex types
+/// whose rule bodies are exactly the union of simpler types' bodies are
+/// eliminated, and their home objects inherit all covering types as homes.
+struct RoleDecomposition {
+  /// The reduced program (surviving types only, targets remapped).
+  TypingProgram program;
+
+  /// Per old type: its id in `program`, or kInvalidType if eliminated.
+  std::vector<TypeId> type_map;
+
+  /// Per old type: if eliminated, the (new-id) types covering it; empty
+  /// otherwise.
+  std::vector<std::vector<TypeId>> covers;
+
+  size_t num_eliminated = 0;
+
+  /// Maps a per-object home vector (old ids; kInvalidType for atomic) to
+  /// per-object home *sets* in new ids: surviving homes map through,
+  /// eliminated homes expand to their cover (the paper's multi-role
+  /// objects).
+  std::vector<std::vector<TypeId>> MapHomes(
+      const std::vector<TypeId>& home) const;
+};
+
+/// Identifies every type expressible as a conjunction of >= 2 *proper
+/// subset* types (greedy set cover per type, processed largest-first so a
+/// composite never serves in a cover that outlives it) and eliminates it.
+/// Typed links in surviving rules that targeted an eliminated type are
+/// remapped to its largest surviving cover member.
+///
+/// `min_cover_size` (default 2) guards against over-decomposition: the
+/// paper warns that overdoing role extraction "atomizes" the schema; a
+/// caller can require larger covers or disable the pass entirely.
+RoleDecomposition DecomposeRoles(const TypingProgram& program,
+                                 size_t min_cover_size = 2);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_ROLES_H_

@@ -1,0 +1,115 @@
+#include "typing/type_signature.h"
+
+#include <algorithm>
+
+namespace schemex::typing {
+
+void TypeSignature::Normalize() {
+  std::sort(links_.begin(), links_.end());
+  links_.erase(std::unique(links_.begin(), links_.end()), links_.end());
+}
+
+TypeSignature TypeSignature::FromLinks(std::vector<TypedLink> links) {
+  TypeSignature s;
+  s.links_ = std::move(links);
+  s.Normalize();
+  return s;
+}
+
+bool TypeSignature::Contains(const TypedLink& l) const {
+  return std::binary_search(links_.begin(), links_.end(), l);
+}
+
+void TypeSignature::Insert(const TypedLink& l) {
+  auto it = std::lower_bound(links_.begin(), links_.end(), l);
+  if (it != links_.end() && *it == l) return;
+  links_.insert(it, l);
+}
+
+void TypeSignature::Erase(const TypedLink& l) {
+  auto it = std::lower_bound(links_.begin(), links_.end(), l);
+  if (it != links_.end() && *it == l) links_.erase(it);
+}
+
+bool TypeSignature::IsSubsetOf(const TypeSignature& other) const {
+  return std::includes(other.links_.begin(), other.links_.end(),
+                       links_.begin(), links_.end());
+}
+
+TypeSignature TypeSignature::Union(const TypeSignature& a,
+                                   const TypeSignature& b) {
+  TypeSignature out;
+  std::set_union(a.links_.begin(), a.links_.end(), b.links_.begin(),
+                 b.links_.end(), std::back_inserter(out.links_));
+  return out;
+}
+
+TypeSignature TypeSignature::Intersection(const TypeSignature& a,
+                                          const TypeSignature& b) {
+  TypeSignature out;
+  std::set_intersection(a.links_.begin(), a.links_.end(), b.links_.begin(),
+                        b.links_.end(), std::back_inserter(out.links_));
+  return out;
+}
+
+size_t TypeSignature::SymmetricDifferenceSize(const TypeSignature& a,
+                                              const TypeSignature& b) {
+  size_t i = 0, j = 0, diff = 0;
+  while (i < a.links_.size() && j < b.links_.size()) {
+    if (a.links_[i] == b.links_[j]) {
+      ++i;
+      ++j;
+    } else if (a.links_[i] < b.links_[j]) {
+      ++diff;
+      ++i;
+    } else {
+      ++diff;
+      ++j;
+    }
+  }
+  return diff + (a.links_.size() - i) + (b.links_.size() - j);
+}
+
+void TypeSignature::RemapTarget(TypeId from, TypeId to) {
+  bool changed = false;
+  for (TypedLink& l : links_) {
+    if (l.target == from) {
+      l.target = to;
+      changed = true;
+    }
+  }
+  if (changed) Normalize();
+}
+
+void TypeSignature::RemapTargets(std::span<const TypeId> map) {
+  bool changed = false;
+  for (TypedLink& l : links_) {
+    if (l.target >= 0) {
+      TypeId next = map[static_cast<size_t>(l.target)];
+      if (next != l.target) {
+        l.target = next;
+        changed = true;
+      }
+    }
+  }
+  if (changed) Normalize();
+}
+
+std::string TypeSignature::ToString(const graph::LabelInterner& labels) const {
+  std::string out;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TypedLinkToString(links_[i], labels);
+  }
+  return out;
+}
+
+uint64_t TypeSignature::Hash() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const TypedLink& l : links_) {
+    h = h * 0x100000001b3ULL ^ HashTypedLink(l);
+  }
+  return h;
+}
+
+}  // namespace schemex::typing

@@ -1,0 +1,27 @@
+#include "typing/typed_link.h"
+
+#include "util/string_util.h"
+
+namespace schemex::typing {
+
+std::string TypedLinkToString(const TypedLink& link,
+                              const graph::LabelInterner& labels) {
+  const char* arrow = link.dir == Direction::kIncoming ? "<-" : "->";
+  std::string target = link.target == kAtomicType
+                           ? "0"
+                           : util::StringPrintf("%d", link.target + 1);
+  return util::StringPrintf("%s%s^%s", arrow,
+                            labels.Name(link.label).c_str(), target.c_str());
+}
+
+uint64_t HashTypedLink(const TypedLink& link) {
+  uint64_t x = (static_cast<uint64_t>(link.dir) << 62) ^
+               (static_cast<uint64_t>(link.label) << 32) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(link.target));
+  // splitmix64 finalizer
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace schemex::typing

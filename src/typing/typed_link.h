@@ -1,0 +1,63 @@
+#ifndef SCHEMEX_TYPING_TYPED_LINK_H_
+#define SCHEMEX_TYPING_TYPED_LINK_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "graph/label.h"
+
+namespace schemex::typing {
+
+/// Index of a type within a TypingProgram. The paper writes types as
+/// tau_1..tau_n with the implicit tau_0 holding all atomic objects; we use
+/// kAtomicType for that implicit target.
+using TypeId = int32_t;
+
+/// Target marker for "the other end is an atomic object" (the paper's
+/// superscript 0).
+inline constexpr TypeId kAtomicType = -1;
+
+inline constexpr TypeId kInvalidType = -2;
+
+/// Edge direction as seen from the object being typed.
+enum class Direction : uint8_t {
+  kIncoming,  ///< paper notation: left arrow,  link(Y, X, l) & type_j(Y)
+  kOutgoing,  ///< paper notation: right arrow, link(X, Y, l) & type_j(Y)
+};
+
+/// One conjunct of a type definition: an incoming or outgoing edge with a
+/// fixed label whose far end lies in a given type (or is atomic).
+///
+/// Invariant: incoming links never target kAtomicType, since atomic objects
+/// have no outgoing edges (DataGraph invariant).
+struct TypedLink {
+  Direction dir;
+  graph::LabelId label;
+  TypeId target;
+
+  static TypedLink In(graph::LabelId l, TypeId from_type) {
+    return TypedLink{Direction::kIncoming, l, from_type};
+  }
+  static TypedLink Out(graph::LabelId l, TypeId to_type) {
+    return TypedLink{Direction::kOutgoing, l, to_type};
+  }
+  static TypedLink OutAtomic(graph::LabelId l) {
+    return TypedLink{Direction::kOutgoing, l, kAtomicType};
+  }
+
+  friend bool operator==(const TypedLink&, const TypedLink&) = default;
+  friend auto operator<=>(const TypedLink&, const TypedLink&) = default;
+};
+
+/// Paper-style rendering: "<-label^j", "->label^j", "->label^0" where j is
+/// the 1-based type index (or a name when the caller substitutes one).
+std::string TypedLinkToString(const TypedLink& link,
+                              const graph::LabelInterner& labels);
+
+/// 64-bit mixing hash; suitable for unordered containers of TypedLink.
+uint64_t HashTypedLink(const TypedLink& link);
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_TYPED_LINK_H_

@@ -1,0 +1,96 @@
+#ifndef SCHEMEX_UTIL_BITSET_H_
+#define SCHEMEX_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace schemex::util {
+
+/// Fixed-size dense bitset used for predicate extents (one bit per object).
+/// Grows only via Resize; out-of-range access is undefined (asserted via
+/// vector bounds in debug builds only through operator[]).
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t n, bool value = false) { Resize(n, value); }
+
+  void Resize(size_t n, bool value = false) {
+    n_ = n;
+    words_.assign((n + 63) / 64, value ? ~0ULL : 0ULL);
+    TrimTail();
+  }
+
+  size_t size() const { return n_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~0ULL;
+    TrimTail();
+  }
+  void ClearAll() {
+    for (auto& w : words_) w = 0ULL;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// In-place intersection; sizes must match.
+  void AndWith(const DenseBitset& o) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  }
+
+  /// In-place union; sizes must match.
+  void OrWith(const DenseBitset& o) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  }
+
+  friend bool operator==(const DenseBitset& a, const DenseBitset& b) {
+    return a.n_ == b.n_ && a.words_ == b.words_;
+  }
+
+  /// Calls `fn(index)` for every set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  void TrimTail() {
+    if (n_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (n_ % 64)) - 1;
+    }
+  }
+
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_BITSET_H_

@@ -1,0 +1,76 @@
+#ifndef SCHEMEX_UTIL_STATUSOR_H_
+#define SCHEMEX_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace schemex::util {
+
+/// Union of a Status and a value of type T: either holds a T (status OK) or
+/// a non-OK Status explaining why no value is available.
+///
+/// Accessing the value of a non-OK StatusOr is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK: an OK status
+  /// with no value is meaningless and is converted to an Internal error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a StatusOr<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define SCHEMEX_SOR_CONCAT_INNER(a, b) a##b
+#define SCHEMEX_SOR_CONCAT(a, b) SCHEMEX_SOR_CONCAT_INNER(a, b)
+#define SCHEMEX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+#define SCHEMEX_ASSIGN_OR_RETURN(lhs, expr)                               \
+  SCHEMEX_ASSIGN_OR_RETURN_IMPL(SCHEMEX_SOR_CONCAT(_schemex_sor_, __LINE__), \
+                                lhs, expr)
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_STATUSOR_H_

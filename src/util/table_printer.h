@@ -1,0 +1,36 @@
+#ifndef SCHEMEX_UTIL_TABLE_PRINTER_H_
+#define SCHEMEX_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace schemex::util {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table (and optionally CSV). Used by the bench harnesses to print the
+/// paper's tables.
+class TablePrinter {
+ public:
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders an aligned, pipe-separated table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (commas and quotes escaped) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,54 @@
+#include "xml/import.h"
+
+namespace schemex::xml {
+
+namespace {
+
+class Importer {
+ public:
+  explicit Importer(const XmlImportOptions& options) : options_(options) {}
+
+  graph::DataGraph Take() && { return std::move(g_); }
+
+  /// Imports `e` and returns its node — atomic when it is a collapsible
+  /// text leaf, complex otherwise.
+  graph::ObjectId Import(const Element& e) {
+    if (options_.collapse_text_leaves && e.children.empty() &&
+        e.attributes.empty() && !e.text.empty()) {
+      return g_.AddAtomic(e.text, e.tag);
+    }
+    graph::ObjectId id = g_.AddComplex(e.tag);
+    for (const auto& [key, value] : e.attributes) {
+      (void)g_.AddEdge(id, g_.AddAtomic(value), key);
+    }
+    for (const auto& child : e.children) {
+      (void)g_.AddEdge(id, Import(*child), child->tag);
+    }
+    if (!e.text.empty()) {
+      (void)g_.AddEdge(id, g_.AddAtomic(e.text),
+                       std::string(options_.text_label));
+    }
+    return id;
+  }
+
+ private:
+  XmlImportOptions options_;
+  graph::DataGraph g_;
+};
+
+}  // namespace
+
+graph::DataGraph ImportElement(const Element& root,
+                               const XmlImportOptions& options) {
+  Importer importer(options);
+  importer.Import(root);
+  return std::move(importer).Take();
+}
+
+util::StatusOr<graph::DataGraph> ImportXml(std::string_view text,
+                                           const XmlImportOptions& options) {
+  SCHEMEX_ASSIGN_OR_RETURN(std::unique_ptr<Element> root, ParseXml(text));
+  return ImportElement(*root, options);
+}
+
+}  // namespace schemex::xml

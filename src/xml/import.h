@@ -1,0 +1,37 @@
+#ifndef SCHEMEX_XML_IMPORT_H_
+#define SCHEMEX_XML_IMPORT_H_
+
+#include <string_view>
+
+#include "graph/data_graph.h"
+#include "util/statusor.h"
+#include "xml/xml.h"
+
+namespace schemex::xml {
+
+/// Maps an XML document into the paper's data model, OEM-style (the
+/// paper's semistructured sources were exactly this kind of tagged web
+/// data):
+///  * an element becomes a complex object named after its tag;
+///  * each attribute k="v" becomes an edge labeled k to an atomic v;
+///  * each child element <t> becomes an edge labeled t to its object;
+///  * non-empty text content becomes an edge (labeled `text_label`) to
+///    an atomic holding the text — except for *leaf* elements with text
+///    and no attributes/children, which collapse directly into a single
+///    atomic object (so <name>Gates</name> is one atomic reached via a
+///    "name" edge, matching the paper's modeling of record fields).
+struct XmlImportOptions {
+  std::string_view text_label = "text";
+  bool collapse_text_leaves = true;
+};
+
+graph::DataGraph ImportElement(const Element& root,
+                               const XmlImportOptions& options = {});
+
+/// Parses and imports in one step.
+util::StatusOr<graph::DataGraph> ImportXml(
+    std::string_view text, const XmlImportOptions& options = {});
+
+}  // namespace schemex::xml
+
+#endif  // SCHEMEX_XML_IMPORT_H_

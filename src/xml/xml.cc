@@ -1,0 +1,222 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace schemex::xml {
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::StatusOr<std::unique_ptr<Element>> Run() {
+    SkipMisc();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Error("expected root element");
+    }
+    SCHEMEX_ASSIGN_OR_RETURN(std::unique_ptr<Element> root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) return Error("content after root element");
+    return root;
+  }
+
+ private:
+  util::Status Error(const char* why) const {
+    return util::Status::ParseError(
+        util::StringPrintf("xml offset %zu: %s", pos_, why));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool StartsWithHere(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  /// Skips whitespace, comments, PIs, and the xml declaration.
+  void SkipMisc() {
+    for (;;) {
+      SkipWs();
+      if (StartsWithHere("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (StartsWithHere("<?")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool IsNameChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  util::StatusOr<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  util::StatusOr<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "lt") {
+        out += '<';
+      } else if (name == "gt") {
+        out += '>';
+      } else if (name == "amp") {
+        out += '&';
+      } else if (name == "quot") {
+        out += '"';
+      } else if (name == "apos") {
+        out += '\'';
+      } else if (!name.empty() && name[0] == '#') {
+        uint64_t code = 0;
+        bool ok = name.size() > 1 && name[1] == 'x'
+                      ? !!sscanf(std::string(name.substr(2)).c_str(), "%llx",
+                                 reinterpret_cast<unsigned long long*>(&code))
+                      : util::ParseUint64(name.substr(1), &code);
+        if (!ok || code == 0 || code > 0x10FFFF) return Error("bad char ref");
+        // Minimal UTF-8 encode.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+      } else {
+        return Error("unknown entity");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  util::StatusOr<std::unique_ptr<Element>> ParseElement() {
+    ++pos_;  // '<'
+    auto elem = std::make_unique<Element>();
+    SCHEMEX_ASSIGN_OR_RETURN(elem->tag, ParseName());
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size()) return Error("unterminated tag");
+      if (text_[pos_] == '>' || StartsWithHere("/>")) break;
+      SCHEMEX_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Error("expected '=' in attribute");
+      }
+      ++pos_;
+      SkipWs();
+      if (pos_ >= text_.size() ||
+          (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated attribute");
+      SCHEMEX_ASSIGN_OR_RETURN(
+          std::string value,
+          DecodeEntities(text_.substr(start, pos_ - start)));
+      ++pos_;
+      elem->attributes.emplace_back(std::move(key), std::move(value));
+    }
+    if (StartsWithHere("/>")) {
+      pos_ += 2;
+      return elem;
+    }
+    ++pos_;  // '>'
+
+    // Content. Plain text runs are entity-decoded; CDATA is verbatim.
+    std::string content;
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated element");
+      if (StartsWithHere("<![CDATA[")) {
+        size_t end = text_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        content.append(text_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWithHere("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWithHere("</")) {
+        pos_ += 2;
+        SCHEMEX_ASSIGN_OR_RETURN(std::string closing, ParseName());
+        if (closing != elem->tag) return Error("mismatched closing tag");
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Error("expected '>' after closing tag");
+        }
+        ++pos_;
+        elem->text = std::string(util::Trim(content));
+        return elem;
+      }
+      if (text_[pos_] == '<') {
+        SCHEMEX_ASSIGN_OR_RETURN(std::unique_ptr<Element> child,
+                                 ParseElement());
+        elem->children.push_back(std::move(child));
+        continue;
+      }
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+      SCHEMEX_ASSIGN_OR_RETURN(
+          std::string decoded,
+          DecodeEntities(text_.substr(start, pos_ - start)));
+      content += decoded;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<Element>> ParseXml(std::string_view text) {
+  Parser p(text);
+  return p.Run();
+}
+
+}  // namespace schemex::xml

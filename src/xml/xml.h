@@ -1,0 +1,37 @@
+#ifndef SCHEMEX_XML_XML_H_
+#define SCHEMEX_XML_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace schemex::xml {
+
+/// A parsed XML element: tag, attributes, child elements, and the
+/// concatenated (trimmed) text content between them. The parser is a
+/// deliberately small subset of XML 1.0: elements, attributes
+/// (single/double quoted), text, comments, processing instructions and
+/// the <?xml?> declaration (both skipped), CDATA, and the five standard
+/// entities. No DTDs, no namespaces semantics (prefixes kept verbatim).
+struct Element {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;  // in order
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;  ///< concatenated trimmed text runs
+
+  /// First attribute value by name, or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+};
+
+/// Parses a document and returns its root element. Returns ParseError
+/// with an offset for malformed input (mismatched tags, bad entities,
+/// stray content after the root, ...).
+util::StatusOr<std::unique_ptr<Element>> ParseXml(std::string_view text);
+
+}  // namespace schemex::xml
+
+#endif  // SCHEMEX_XML_XML_H_

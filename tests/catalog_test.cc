@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "catalog/workspace.h"
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "tests/test_util.h"
+#include "typing/gfp.h"
+
+namespace schemex::catalog {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("schemex_ws_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CatalogTest, SaveLoadRoundTrip) {
+  auto g = gen::MakeDbgDataset(3);
+  extract::ExtractorOptions opt;
+  opt.target_num_types = 6;
+  auto r = extract::SchemaExtractor(opt).Run(*g);
+  ASSERT_TRUE(r.ok());
+
+  Workspace ws;
+  ws.graph = *g;
+  ws.program = r->final_program;
+  ws.assignment = r->recast.assignment;
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+  EXPECT_TRUE(fs::exists(dir_ / "graph.sxg"));
+  EXPECT_TRUE(fs::exists(dir_ / "schema.dl"));
+  EXPECT_TRUE(fs::exists(dir_ / "assignment.tsv"));
+
+  ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
+  EXPECT_EQ(back.graph.NumObjects(), g->NumObjects());
+  EXPECT_EQ(back.graph.NumEdges(), g->NumEdges());
+  EXPECT_EQ(back.program.NumTypes(), 6u);
+  // Assignment content survives object-by-object.
+  for (graph::ObjectId o = 0; o < g->NumObjects(); ++o) {
+    EXPECT_EQ(back.assignment.TypesOf(o), r->recast.assignment.TypesOf(o))
+        << "object " << o;
+  }
+  // The reloaded program types the reloaded graph the way the original
+  // typed the original (extent sizes).
+  ASSERT_OK_AND_ASSIGN(typing::Extents m1,
+                       typing::ComputeGfp(r->final_program, *g));
+  ASSERT_OK_AND_ASSIGN(typing::Extents m2,
+                       typing::ComputeGfp(back.program, back.graph));
+  for (size_t t = 0; t < m1.per_type.size(); ++t) {
+    EXPECT_EQ(m1.per_type[t].Count(), m2.per_type[t].Count());
+  }
+}
+
+TEST_F(CatalogTest, GraphOnlyWorkspace) {
+  Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+  // Remove the optional files: loading must still succeed.
+  fs::remove(dir_ / "schema.dl");
+  fs::remove(dir_ / "assignment.tsv");
+  ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
+  EXPECT_EQ(back.program.NumTypes(), 0u);
+  EXPECT_EQ(back.assignment.NumObjects(), ws.graph.NumObjects());
+}
+
+TEST_F(CatalogTest, MissingGraphIsAnError) {
+  fs::create_directories(dir_);
+  EXPECT_FALSE(LoadWorkspace(dir_.string()).ok());
+  EXPECT_FALSE(LoadWorkspace((dir_ / "nope").string()).ok());
+}
+
+TEST_F(CatalogTest, ValidationCatchesInconsistency) {
+  Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment.Assign(0, 5);  // no such type
+  EXPECT_EQ(ws.Validate().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(SaveWorkspace(ws, dir_.string()).ok());
+
+  Workspace ws2;
+  ws2.graph = test::MakeFigure2Database();
+  ws2.assignment = typing::TypeAssignment(3);  // wrong size
+  EXPECT_FALSE(ws2.Validate().ok());
+}
+
+TEST_F(CatalogTest, CorruptAssignmentRejected) {
+  Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.program.AddType("t", {});
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment.Assign(0, 0);
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+  // Scribble over the assignment.
+  {
+    std::ofstream out(dir_ / "assignment.tsv");
+    out << "999\t0\n";  // object id out of range
+  }
+  EXPECT_FALSE(LoadWorkspace(dir_.string()).ok());
+  {
+    std::ofstream out(dir_ / "assignment.tsv");
+    out << "no tab here\n";
+  }
+  EXPECT_FALSE(LoadWorkspace(dir_.string()).ok());
+}
+
+}  // namespace
+}  // namespace schemex::catalog

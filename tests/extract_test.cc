@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "gen/table1.h"
+#include "json/import.h"
+#include "tests/test_util.h"
+
+namespace schemex::extract {
+namespace {
+
+using Stage1 = ExtractorOptions::Stage1Algorithm;
+
+TEST(ExtractorTest, PerfectOnlyWhenNoTarget) {
+  graph::DataGraph g = test::MakeFigure4Database();
+  SchemaExtractor ex{ExtractorOptions{}};
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, ex.Run(g));
+  EXPECT_FALSE(r.clustering_applied);
+  EXPECT_EQ(r.num_perfect_types, 3u);
+  EXPECT_EQ(r.num_final_types, 3u);
+  EXPECT_EQ(r.defect.defect(), 0u);  // perfect typing has no defect
+}
+
+TEST(ExtractorTest, BothStage1AlgorithmsAgreeOnDbg) {
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset(3));
+  ExtractorOptions a;
+  a.stage1 = Stage1::kGfp;
+  ExtractorOptions b;
+  b.stage1 = Stage1::kRefinement;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult ra, SchemaExtractor(a).Run(g));
+  ASSERT_OK_AND_ASSIGN(ExtractionResult rb, SchemaExtractor(b).Run(g));
+  EXPECT_EQ(ra.num_perfect_types, rb.num_perfect_types);
+}
+
+TEST(ExtractorTest, DbgClusteringRecoversIntendedScale) {
+  // The headline DBG behaviour (Fig. 1): dozens of perfect types, but 6
+  // approximate types summarize the data with modest defect.
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  opt.target_num_types = 6;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, SchemaExtractor(opt).Run(g));
+  EXPECT_GT(r.num_perfect_types, 40u);
+  EXPECT_EQ(r.num_final_types, 6u);
+  EXPECT_TRUE(r.clustering_applied);
+  // Defect is far below "no schema at all" (every link excess).
+  EXPECT_LT(r.defect.defect(), g.NumEdges() / 2);
+  // Every complex object ends up with at least one type (fallback on).
+  EXPECT_EQ(r.recast.num_untyped, 0u);
+}
+
+TEST(ExtractorTest, RolesPassPropagatesToHomes) {
+  graph::DataGraph g = test::MakeFigure5Database();
+  ExtractorOptions opt;
+  opt.decompose_roles = true;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, SchemaExtractor(opt).Run(g));
+  EXPECT_TRUE(r.roles_applied);
+  EXPECT_EQ(r.roles.num_eliminated, 1u);
+  EXPECT_EQ(r.num_final_types, 2u);
+  // The dual-role object has two home types.
+  size_t multi_home = 0;
+  for (const auto& hs : r.final_homes) {
+    if (hs.size() == 2) ++multi_home;
+  }
+  EXPECT_EQ(multi_home, 1u);
+}
+
+TEST(ExtractorTest, TargetLargerThanPerfectIsIdentity) {
+  graph::DataGraph g = test::MakeFigure4Database();
+  ExtractorOptions opt;
+  opt.target_num_types = 50;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, SchemaExtractor(opt).Run(g));
+  EXPECT_FALSE(r.clustering_applied);
+  EXPECT_EQ(r.num_final_types, 3u);
+}
+
+TEST(ExtractorTest, EmptyTypeCanAbsorbOutliers) {
+  // With the empty type enabled and an aggressive target, some stage-1
+  // types may map to nothing; their objects survive through recast.
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  opt.target_num_types = 3;
+  opt.enable_empty_type = true;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, SchemaExtractor(opt).Run(g));
+  EXPECT_EQ(r.num_final_types, 3u);
+  EXPECT_EQ(r.recast.assignment.NumObjects(), g.NumObjects());
+}
+
+TEST(ExtractorTest, JsonPipelineEndToEnd) {
+  // JSON records in, typing program out — the library's quickstart path.
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, json::ImportJson(R"([
+    {"name": "a", "email": "a@x"},
+    {"name": "b", "email": "b@x"},
+    {"name": "c", "email": "c@x", "phone": "3"},
+    {"name": "d", "email": "d@x", "phone": "4"}
+  ])"));
+  ExtractorOptions opt;
+  opt.target_num_types = 2;
+  ASSERT_OK_AND_ASSIGN(ExtractionResult r, SchemaExtractor(opt).Run(g));
+  // Perfect: root type + 2 record variants = 3; clustered to 2.
+  EXPECT_EQ(r.num_perfect_types, 3u);
+  EXPECT_EQ(r.num_final_types, 2u);
+}
+
+TEST(SensitivityTest, SweepIsCompleteAndMonotoneInDistance) {
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  ASSERT_OK_AND_ASSIGN(std::vector<SensitivityPoint> pts,
+                       SensitivitySweep(g, opt));
+  ASSERT_GT(pts.size(), 10u);
+  // First point is the perfect typing (defect 0), ks strictly decrease
+  // down to 1, cumulative distance is non-decreasing.
+  EXPECT_EQ(pts.front().defect, 0u);
+  EXPECT_EQ(pts.back().k, 1u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].k, pts[i - 1].k - 1);
+    EXPECT_GE(pts[i].total_distance, pts[i - 1].total_distance);
+  }
+}
+
+TEST(SensitivityTest, DefectExplodesAtTinyK) {
+  // Figure 6's right-to-left read: k = 1 is far worse than the knee.
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  ASSERT_OK_AND_ASSIGN(std::vector<SensitivityPoint> pts,
+                       SensitivitySweep(g, opt));
+  size_t defect_at_1 = 0, defect_at_8 = 0;
+  for (const auto& p : pts) {
+    if (p.k == 1) defect_at_1 = p.defect;
+    if (p.k == 8) defect_at_8 = p.defect;
+  }
+  EXPECT_GT(defect_at_1, defect_at_8 * 2);
+}
+
+TEST(SensitivityTest, MinKRespected) {
+  graph::DataGraph g = test::MakeFigure4Database();
+  ExtractorOptions opt;
+  ASSERT_OK_AND_ASSIGN(std::vector<SensitivityPoint> pts,
+                       SensitivitySweep(g, opt, /*min_k=*/2));
+  EXPECT_EQ(pts.back().k, 2u);
+}
+
+}  // namespace
+}  // namespace schemex::extract

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "tests/test_util.h"
+#include "typing/incremental.h"
+
+namespace schemex::typing {
+namespace {
+
+/// A fixture with a 1-type schema: person = {->name^0, ->email^0}.
+class IncrementalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::GraphBuilder b;
+    ASSERT_OK(b.Atomic("n1", "ada"));
+    ASSERT_OK(b.Atomic("e1", "ada@x"));
+    ASSERT_OK(b.Edge("p1", "name", "n1"));
+    ASSERT_OK(b.Edge("p1", "email", "e1"));
+    util::Status st;
+    base_ = std::move(b).Build(&st);
+    ASSERT_OK(st);
+    name_ = base_.labels().Find("name");
+    email_ = base_.labels().Find("email");
+    program_.AddType("person",
+                     TypeSignature::FromLinks({TypedLink::OutAtomic(name_),
+                                               TypedLink::OutAtomic(email_)}));
+    TypeAssignment tau(base_.NumObjects());
+    tau.Assign(0, 0);
+    typer_ = std::make_unique<IncrementalTyper>(program_, base_, tau);
+  }
+
+  graph::DataGraph base_;
+  graph::LabelId name_, email_;
+  TypingProgram program_;
+  std::unique_ptr<IncrementalTyper> typer_;
+};
+
+TEST_F(IncrementalFixture, ExactFitAssignedDirectly) {
+  IncrementalTyper::NewObject rec;
+  rec.name = "p2";
+  rec.fields = {{"name", "grace"}, {"email", "grace@x"}};
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject t,
+                       typer_->AddAndType(rec));
+  EXPECT_EQ(t.exact_types, (std::vector<TypeId>{0}));
+  EXPECT_EQ(typer_->num_exact(), 1u);
+  EXPECT_EQ(typer_->num_fallback(), 0u);
+  EXPECT_TRUE(typer_->assignment().Has(t.id, 0));
+  EXPECT_EQ(typer_->graph().NumComplexObjects(), 2u);
+}
+
+TEST_F(IncrementalFixture, MisfitFallsBackToNearest) {
+  IncrementalTyper::NewObject rec;
+  rec.name = "p3";
+  rec.fields = {{"name", "edsger"}};  // email missing
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject t,
+                       typer_->AddAndType(rec));
+  EXPECT_TRUE(t.exact_types.empty());
+  EXPECT_EQ(t.fallback_type, 0);
+  EXPECT_EQ(t.fallback_distance, 1u);
+  EXPECT_EQ(typer_->num_fallback(), 1u);
+  EXPECT_DOUBLE_EQ(typer_->MeanFallbackDistance(), 1.0);
+  EXPECT_TRUE(typer_->assignment().Has(t.id, 0));
+}
+
+TEST_F(IncrementalFixture, ReferencesToExistingObjects) {
+  IncrementalTyper::NewObject rec;
+  rec.name = "p4";
+  rec.fields = {{"name", "x"}, {"email", "x@x"}};
+  rec.refs = {{"friend", 0}};  // extra link — still an exact fit (GFP
+                               // semantics tolerates extra edges)
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject t,
+                       typer_->AddAndType(rec));
+  EXPECT_EQ(t.exact_types.size(), 1u);
+  // Dangling reference rejected before mutation.
+  IncrementalTyper::NewObject bad;
+  bad.refs = {{"friend", 10'000}};
+  size_t before = typer_->graph().NumObjects();
+  EXPECT_FALSE(typer_->AddAndType(bad).ok());
+  EXPECT_EQ(typer_->graph().NumObjects(), before);
+}
+
+TEST_F(IncrementalFixture, RetypeRecommendationThreshold) {
+  // 8 exact arrivals, then misfits until the fraction crosses 25%.
+  for (int i = 0; i < 8; ++i) {
+    IncrementalTyper::NewObject rec;
+    rec.fields = {{"name", "n"}, {"email", "e"}};
+    ASSERT_OK(typer_->AddAndType(rec).status());
+  }
+  EXPECT_FALSE(typer_->RetypeRecommended(0.25, 10));
+  for (int i = 0; i < 4; ++i) {
+    IncrementalTyper::NewObject rec;
+    rec.fields = {{"nickname", "z"}};
+    ASSERT_OK(typer_->AddAndType(rec).status());
+  }
+  // 4 of 12 arrivals misfit (33% > 25%), and >= 10 arrivals seen.
+  EXPECT_TRUE(typer_->RetypeRecommended(0.25, 10));
+  EXPECT_FALSE(typer_->RetypeRecommended(0.50, 10));
+}
+
+TEST(IncrementalTest, ChainedArrivalsSeeEachOther) {
+  // An arrival can reference a previous arrival and the earlier object's
+  // assigned type witnesses the later one's requirements.
+  graph::DataGraph g;
+  TypingProgram p;
+  graph::LabelId leader = g.InternLabel("leader");
+  graph::LabelId name = g.InternLabel("name");
+  TypeId boss = p.AddType(
+      "boss", TypeSignature::FromLinks({TypedLink::OutAtomic(name)}));
+  TypeId worker = p.AddType(
+      "worker", TypeSignature::FromLinks({TypedLink::Out(leader, boss)}));
+  IncrementalTyper typer(p, g, TypeAssignment(0));
+
+  IncrementalTyper::NewObject b;
+  b.name = "boss1";
+  b.fields = {{"name", "B"}};
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject tb, typer.AddAndType(b));
+  ASSERT_EQ(tb.exact_types, (std::vector<TypeId>{boss}));
+
+  IncrementalTyper::NewObject w;
+  w.name = "worker1";
+  w.refs = {{"leader", tb.id}};
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject tw, typer.AddAndType(w));
+  EXPECT_EQ(tw.exact_types, (std::vector<TypeId>{worker}));
+}
+
+TEST(IncrementalTest, EndToEndWithExtractor) {
+  // Extract a 6-type DBG schema, then stream new publication-shaped
+  // objects at it.
+  auto g = gen::MakeDbgDataset();
+  extract::ExtractorOptions opt;
+  opt.target_num_types = 6;
+  auto r = extract::SchemaExtractor(opt).Run(*g);
+  ASSERT_TRUE(r.ok());
+
+  IncrementalTyper typer(r->final_program, *g, r->recast.assignment);
+  // Find a db_person to author the new publication.
+  graph::ObjectId person = graph::kInvalidObject;
+  for (graph::ObjectId o = 0; o < g->NumObjects(); ++o) {
+    if (g->Name(o).substr(0, 9) == "db_person") {
+      person = o;
+      break;
+    }
+  }
+  ASSERT_NE(person, graph::kInvalidObject);
+  IncrementalTyper::NewObject pub;
+  pub.name = "new_pub";
+  pub.fields = {{"name", "Extracting Schema"},
+                {"conference", "SIGMOD"},
+                {"postscript", "p.ps"}};
+  pub.refs = {{"author", person}};
+  ASSERT_OK_AND_ASSIGN(IncrementalTyper::TypedObject t, typer.AddAndType(pub));
+  ASSERT_FALSE(t.exact_types.empty());
+  // It should land in the publication type: the one whose signature has
+  // an ->author link.
+  graph::LabelId author = g->labels().Find("author");
+  bool in_publication_type = false;
+  for (TypeId tt : t.exact_types) {
+    for (const TypedLink& l : r->final_program.type(tt).signature.links()) {
+      if (l.label == author && l.dir == Direction::kOutgoing) {
+        in_publication_type = true;
+      }
+    }
+  }
+  EXPECT_TRUE(in_publication_type);
+}
+
+}  // namespace
+}  // namespace schemex::typing

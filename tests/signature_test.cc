@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "graph/label.h"
+#include "typing/type_signature.h"
+#include "typing/typed_link.h"
+
+namespace schemex::typing {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  graph::LabelInterner labels_;
+  graph::LabelId a_ = labels_.Intern("a");
+  graph::LabelId b_ = labels_.Intern("b");
+  graph::LabelId c_ = labels_.Intern("c");
+};
+
+TEST_F(SignatureTest, FromLinksSortsAndDedupes) {
+  TypeSignature s = TypeSignature::FromLinks(
+      {TypedLink::Out(b_, 1), TypedLink::OutAtomic(a_), TypedLink::Out(b_, 1),
+       TypedLink::In(a_, 0)});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(s.links().begin(), s.links().end()));
+  EXPECT_TRUE(s.Contains(TypedLink::OutAtomic(a_)));
+  EXPECT_FALSE(s.Contains(TypedLink::OutAtomic(b_)));
+}
+
+TEST_F(SignatureTest, InsertEraseMaintainOrder) {
+  TypeSignature s;
+  s.Insert(TypedLink::Out(c_, 2));
+  s.Insert(TypedLink::OutAtomic(a_));
+  s.Insert(TypedLink::OutAtomic(a_));  // dup
+  EXPECT_EQ(s.size(), 2u);
+  s.Erase(TypedLink::Out(c_, 2));
+  EXPECT_EQ(s.size(), 1u);
+  s.Erase(TypedLink::Out(c_, 2));  // absent: no-op
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST_F(SignatureTest, SubsetUnionIntersection) {
+  TypeSignature small = TypeSignature::FromLinks({TypedLink::OutAtomic(a_)});
+  TypeSignature big = TypeSignature::FromLinks(
+      {TypedLink::OutAtomic(a_), TypedLink::OutAtomic(b_)});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_EQ(TypeSignature::Union(small, big), big);
+  EXPECT_EQ(TypeSignature::Intersection(small, big), small);
+}
+
+TEST_F(SignatureTest, Example52Distances) {
+  // The paper's Example 5.2: d(t1,t2)=2, d(t1,t3)=3, d(t2,t3)=3.
+  TypeSignature t1 = TypeSignature::FromLinks(
+      {TypedLink::OutAtomic(a_), TypedLink::Out(b_, 1)});
+  TypeSignature t2 = TypeSignature::FromLinks(
+      {TypedLink::OutAtomic(a_), TypedLink::Out(b_, 0), TypedLink::Out(b_, 1),
+       TypedLink::Out(b_, 2)});
+  TypeSignature t3 = TypeSignature::FromLinks({TypedLink::Out(b_, 0)});
+  EXPECT_EQ(TypeSignature::SymmetricDifferenceSize(t1, t2), 2u);
+  EXPECT_EQ(TypeSignature::SymmetricDifferenceSize(t1, t3), 3u);
+  EXPECT_EQ(TypeSignature::SymmetricDifferenceSize(t2, t3), 3u);
+}
+
+TEST_F(SignatureTest, DistanceIsAMetricOnExamples) {
+  // Identity + symmetry; triangle inequality holds for symmetric
+  // difference cardinality in general.
+  TypeSignature x = TypeSignature::FromLinks(
+      {TypedLink::OutAtomic(a_), TypedLink::In(b_, 3)});
+  TypeSignature y = TypeSignature::FromLinks({TypedLink::In(b_, 3)});
+  EXPECT_EQ(TypeSignature::SymmetricDifferenceSize(x, x), 0u);
+  EXPECT_EQ(TypeSignature::SymmetricDifferenceSize(x, y),
+            TypeSignature::SymmetricDifferenceSize(y, x));
+}
+
+TEST_F(SignatureTest, RemapTargetMergesDuplicates) {
+  // Example 5.1's projection: remapping 2 -> 1 can collapse two links.
+  TypeSignature s = TypeSignature::FromLinks(
+      {TypedLink::Out(b_, 1), TypedLink::Out(b_, 2)});
+  s.RemapTarget(2, 1);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(TypedLink::Out(b_, 1)));
+}
+
+TEST_F(SignatureTest, RemapTargetsVector) {
+  TypeSignature s = TypeSignature::FromLinks(
+      {TypedLink::Out(a_, 0), TypedLink::Out(b_, 2), TypedLink::OutAtomic(c_)});
+  std::vector<TypeId> map = {5, 6, 5};
+  s.RemapTargets(map);
+  EXPECT_TRUE(s.Contains(TypedLink::Out(a_, 5)));
+  EXPECT_TRUE(s.Contains(TypedLink::Out(b_, 5)));
+  EXPECT_TRUE(s.Contains(TypedLink::OutAtomic(c_)));  // atomic unchanged
+}
+
+TEST_F(SignatureTest, ToStringUsesPaperNotation) {
+  TypeSignature s = TypeSignature::FromLinks(
+      {TypedLink::In(a_, 0), TypedLink::Out(b_, 2), TypedLink::OutAtomic(c_)});
+  std::string str = s.ToString(labels_);
+  EXPECT_NE(str.find("<-a^1"), std::string::npos);   // 1-based target ids
+  EXPECT_NE(str.find("->b^3"), std::string::npos);
+  EXPECT_NE(str.find("->c^0"), std::string::npos);   // atomic is ^0
+}
+
+TEST_F(SignatureTest, HashDiscriminates) {
+  TypeSignature s1 = TypeSignature::FromLinks({TypedLink::OutAtomic(a_)});
+  TypeSignature s2 = TypeSignature::FromLinks({TypedLink::OutAtomic(b_)});
+  TypeSignature s3 = TypeSignature::FromLinks({TypedLink::OutAtomic(a_)});
+  EXPECT_EQ(s1.Hash(), s3.Hash());
+  EXPECT_NE(s1.Hash(), s2.Hash());
+}
+
+TEST_F(SignatureTest, OrderingIsTotal) {
+  TypeSignature s1 = TypeSignature::FromLinks({TypedLink::OutAtomic(a_)});
+  TypeSignature s2 = TypeSignature::FromLinks({TypedLink::OutAtomic(b_)});
+  EXPECT_TRUE((s1 < s2) != (s2 < s1));
+  EXPECT_FALSE(s1 < s1);
+}
+
+TEST(TypedLinkTest, FactoriesAndOrdering) {
+  graph::LabelInterner labels;
+  graph::LabelId l = labels.Intern("x");
+  TypedLink in = TypedLink::In(l, 4);
+  TypedLink out = TypedLink::Out(l, 4);
+  TypedLink atom = TypedLink::OutAtomic(l);
+  EXPECT_EQ(in.dir, Direction::kIncoming);
+  EXPECT_EQ(out.dir, Direction::kOutgoing);
+  EXPECT_EQ(atom.target, kAtomicType);
+  EXPECT_NE(in, out);
+  EXPECT_LT(in, out);  // incoming sorts first
+  EXPECT_EQ(TypedLinkToString(in, labels), "<-x^5");
+  EXPECT_EQ(TypedLinkToString(atom, labels), "->x^0");
+  EXPECT_NE(HashTypedLink(in), HashTypedLink(out));
+}
+
+}  // namespace
+}  // namespace schemex::typing

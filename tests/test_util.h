@@ -1,0 +1,142 @@
+#ifndef SCHEMEX_TESTS_TEST_UTIL_H_
+#define SCHEMEX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+#define ASSERT_OK(expr)                                  \
+  do {                                                   \
+    ::schemex::util::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+#define EXPECT_OK(expr)                                  \
+  do {                                                   \
+    ::schemex::util::Status _st = (expr);                \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+#define SCHEMEX_TEST_CONCAT_INNER(a, b) a##b
+#define SCHEMEX_TEST_CONCAT(a, b) SCHEMEX_TEST_CONCAT_INNER(a, b)
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                                \
+  ASSERT_OK_AND_ASSIGN_IMPL(SCHEMEX_TEST_CONCAT(_sor_, __LINE__), lhs, \
+                            expr)
+
+namespace schemex::test {
+
+/// The paper's Figure 2 database: Gates manages Microsoft, Jobs manages
+/// Apple, everyone has a name.
+inline graph::DataGraph MakeFigure2Database() {
+  graph::GraphBuilder b;
+  EXPECT_OK(b.Complex("g"));
+  EXPECT_OK(b.Complex("j"));
+  EXPECT_OK(b.Complex("m"));
+  EXPECT_OK(b.Complex("a"));
+  EXPECT_OK(b.Atomic("gn", "Gates"));
+  EXPECT_OK(b.Atomic("jn", "Jobs"));
+  EXPECT_OK(b.Atomic("mn", "Microsoft"));
+  EXPECT_OK(b.Atomic("an", "Apple"));
+  EXPECT_OK(b.Edge("g", "is-manager-of", "m"));
+  EXPECT_OK(b.Edge("j", "is-manager-of", "a"));
+  EXPECT_OK(b.Edge("m", "is-managed-by", "g"));
+  EXPECT_OK(b.Edge("a", "is-managed-by", "j"));
+  EXPECT_OK(b.Edge("g", "name", "gn"));
+  EXPECT_OK(b.Edge("j", "name", "jn"));
+  EXPECT_OK(b.Edge("m", "name", "mn"));
+  EXPECT_OK(b.Edge("a", "name", "an"));
+  util::Status st;
+  graph::DataGraph g = std::move(b).Build(&st);
+  EXPECT_OK(st);
+  return g;
+}
+
+/// The paper's Figure 4 database (Example 4.2): o1 -a-> {o2,o3,o4};
+/// o2 -b-> o5, o3 -b-> o6, o4 -b-> o6, o4 -c-> o7; o5..o7 atomic.
+inline graph::DataGraph MakeFigure4Database() {
+  graph::GraphBuilder b;
+  for (const char* n : {"o1", "o2", "o3", "o4"}) EXPECT_OK(b.Complex(n));
+  EXPECT_OK(b.Atomic("o5", "v5"));
+  EXPECT_OK(b.Atomic("o6", "v6"));
+  EXPECT_OK(b.Atomic("o7", "v7"));
+  EXPECT_OK(b.Edge("o1", "a", "o2"));
+  EXPECT_OK(b.Edge("o1", "a", "o3"));
+  EXPECT_OK(b.Edge("o1", "a", "o4"));
+  EXPECT_OK(b.Edge("o2", "b", "o5"));
+  EXPECT_OK(b.Edge("o3", "b", "o6"));
+  EXPECT_OK(b.Edge("o4", "b", "o6"));
+  EXPECT_OK(b.Edge("o4", "c", "o7"));
+  util::Status st;
+  graph::DataGraph g = std::move(b).Build(&st);
+  EXPECT_OK(st);
+  return g;
+}
+
+/// The paper's Figure 5 database (Example 4.3): soccer star o1, movie
+/// star o3, and o2 who is both.
+inline graph::DataGraph MakeFigure5Database() {
+  graph::GraphBuilder b;
+  for (const char* n : {"o1", "o2", "o3"}) EXPECT_OK(b.Complex(n));
+  EXPECT_OK(b.Atomic("n1", "Scholes"));
+  EXPECT_OK(b.Atomic("c1", "England"));
+  EXPECT_OK(b.Atomic("t1", "Man Utd"));
+  EXPECT_OK(b.Atomic("n2", "Cantona"));
+  EXPECT_OK(b.Atomic("c2", "France"));
+  EXPECT_OK(b.Atomic("t2", "Man Utd"));
+  EXPECT_OK(b.Atomic("m2", "Le Bonheur"));
+  EXPECT_OK(b.Atomic("n3", "Binoche"));
+  EXPECT_OK(b.Atomic("c3", "France"));
+  EXPECT_OK(b.Atomic("m3a", "Bleu"));
+  EXPECT_OK(b.Atomic("m3b", "Damage"));
+  EXPECT_OK(b.Edge("o1", "name", "n1"));
+  EXPECT_OK(b.Edge("o1", "country", "c1"));
+  EXPECT_OK(b.Edge("o1", "team", "t1"));
+  EXPECT_OK(b.Edge("o2", "name", "n2"));
+  EXPECT_OK(b.Edge("o2", "country", "c2"));
+  EXPECT_OK(b.Edge("o2", "team", "t2"));
+  EXPECT_OK(b.Edge("o2", "movie", "m2"));
+  EXPECT_OK(b.Edge("o3", "name", "n3"));
+  EXPECT_OK(b.Edge("o3", "country", "c3"));
+  EXPECT_OK(b.Edge("o3", "movie", "m3a"));
+  EXPECT_OK(b.Edge("o3", "movie", "m3b"));
+  util::Status st;
+  graph::DataGraph g = std::move(b).Build(&st);
+  EXPECT_OK(st);
+  return g;
+}
+
+/// The database of Example 2.2 (Figure 3): o1 -a-> o2; o2,o3,o4 carry
+/// attribute edges to atomics: o2 {b,c}, o3 {b,d}, o4 {b,c,d}.
+inline graph::DataGraph MakeExample22Database() {
+  graph::GraphBuilder b;
+  for (const char* n : {"o1", "o2", "o3", "o4"}) EXPECT_OK(b.Complex(n));
+  int atom = 0;
+  auto attach = [&](const char* from, const char* label) {
+    std::string name = "x" + std::to_string(atom++);
+    EXPECT_OK(b.Atomic(name, "v"));
+    EXPECT_OK(b.Edge(from, label, name));
+  };
+  EXPECT_OK(b.Edge("o1", "a", "o2"));
+  attach("o2", "b");
+  attach("o2", "c");
+  attach("o3", "b");
+  attach("o3", "d");
+  attach("o4", "b");
+  attach("o4", "c");
+  attach("o4", "d");
+  util::Status st;
+  graph::DataGraph g = std::move(b).Build(&st);
+  EXPECT_OK(st);
+  return g;
+}
+
+}  // namespace schemex::test
+
+#endif  // SCHEMEX_TESTS_TEST_UTIL_H_
