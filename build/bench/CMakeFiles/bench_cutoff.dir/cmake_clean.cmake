@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cutoff.dir/bench_cutoff.cc.o"
+  "CMakeFiles/bench_cutoff.dir/bench_cutoff.cc.o.d"
+  "bench_cutoff"
+  "bench_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6.dir/bench_figure6.cc.o"
+  "CMakeFiles/bench_figure6.dir/bench_figure6.cc.o.d"
+  "bench_figure6"
+  "bench_figure6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

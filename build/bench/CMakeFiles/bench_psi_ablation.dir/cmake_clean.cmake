@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psi_ablation.dir/bench_psi_ablation.cc.o"
+  "CMakeFiles/bench_psi_ablation.dir/bench_psi_ablation.cc.o.d"
+  "bench_psi_ablation"
+  "bench_psi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_schema_inference.dir/json_schema_inference.cpp.o"
+  "CMakeFiles/json_schema_inference.dir/json_schema_inference.cpp.o.d"
+  "json_schema_inference"
+  "json_schema_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_schema_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

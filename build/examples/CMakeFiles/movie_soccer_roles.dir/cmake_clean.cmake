@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_soccer_roles.dir/movie_soccer_roles.cpp.o"
+  "CMakeFiles/movie_soccer_roles.dir/movie_soccer_roles.cpp.o.d"
+  "movie_soccer_roles"
+  "movie_soccer_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_soccer_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_integration.dir/relational_integration.cpp.o"
+  "CMakeFiles/relational_integration.dir/relational_integration.cpp.o.d"
+  "relational_integration"
+  "relational_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typing_tool.dir/typing_tool.cpp.o"
+  "CMakeFiles/typing_tool.dir/typing_tool.cpp.o.d"
+  "typing_tool"
+  "typing_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typing_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/website_typing.dir/website_typing.cpp.o"
+  "CMakeFiles/website_typing.dir/website_typing.cpp.o.d"
+  "website_typing"
+  "website_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/website_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;12;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_json_schema_inference "/root/repo/build/examples/json_schema_inference")
+set_tests_properties(example_json_schema_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;13;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_website_typing "/root/repo/build/examples/website_typing")
+set_tests_properties(example_website_typing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;14;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_movie_soccer_roles "/root/repo/build/examples/movie_soccer_roles")
+set_tests_properties(example_movie_soccer_roles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;15;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_typing_tool "/root/repo/build/examples/typing_tool")
+set_tests_properties(example_typing_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;16;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_relational_integration "/root/repo/build/examples/relational_integration")
+set_tests_properties(example_relational_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;17;schemex_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schema_evolution "/root/repo/build/examples/schema_evolution")
+set_tests_properties(example_schema_evolution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;18;schemex_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("datalog")
+subdirs("typing")
+subdirs("cluster")
+subdirs("extract")
+subdirs("gen")
+subdirs("baseline")
+subdirs("json")
+subdirs("relational")
+subdirs("query")
+subdirs("xml")
+subdirs("catalog")

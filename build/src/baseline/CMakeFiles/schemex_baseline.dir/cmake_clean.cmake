@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_baseline.dir/dataguide.cc.o"
+  "CMakeFiles/schemex_baseline.dir/dataguide.cc.o.d"
+  "CMakeFiles/schemex_baseline.dir/rep_objects.cc.o"
+  "CMakeFiles/schemex_baseline.dir/rep_objects.cc.o.d"
+  "libschemex_baseline.a"
+  "libschemex_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

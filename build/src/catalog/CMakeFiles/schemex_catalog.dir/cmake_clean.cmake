@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_catalog.dir/report.cc.o"
+  "CMakeFiles/schemex_catalog.dir/report.cc.o.d"
+  "CMakeFiles/schemex_catalog.dir/workspace.cc.o"
+  "CMakeFiles/schemex_catalog.dir/workspace.cc.o.d"
+  "libschemex_catalog.a"
+  "libschemex_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_cluster.dir/distance.cc.o"
+  "CMakeFiles/schemex_cluster.dir/distance.cc.o.d"
+  "CMakeFiles/schemex_cluster.dir/exact.cc.o"
+  "CMakeFiles/schemex_cluster.dir/exact.cc.o.d"
+  "CMakeFiles/schemex_cluster.dir/greedy.cc.o"
+  "CMakeFiles/schemex_cluster.dir/greedy.cc.o.d"
+  "CMakeFiles/schemex_cluster.dir/kcenter.cc.o"
+  "CMakeFiles/schemex_cluster.dir/kcenter.cc.o.d"
+  "libschemex_cluster.a"
+  "libschemex_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

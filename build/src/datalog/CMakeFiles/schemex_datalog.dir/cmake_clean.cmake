@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_datalog.dir/ast.cc.o"
+  "CMakeFiles/schemex_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/schemex_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/schemex_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/schemex_datalog.dir/parser.cc.o"
+  "CMakeFiles/schemex_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/schemex_datalog.dir/printer.cc.o"
+  "CMakeFiles/schemex_datalog.dir/printer.cc.o.d"
+  "libschemex_datalog.a"
+  "libschemex_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/extractor.cc" "src/extract/CMakeFiles/schemex_extract.dir/extractor.cc.o" "gcc" "src/extract/CMakeFiles/schemex_extract.dir/extractor.cc.o.d"
+  "/root/repo/src/extract/knee.cc" "src/extract/CMakeFiles/schemex_extract.dir/knee.cc.o" "gcc" "src/extract/CMakeFiles/schemex_extract.dir/knee.cc.o.d"
+  "/root/repo/src/extract/prior.cc" "src/extract/CMakeFiles/schemex_extract.dir/prior.cc.o" "gcc" "src/extract/CMakeFiles/schemex_extract.dir/prior.cc.o.d"
+  "/root/repo/src/extract/sampled.cc" "src/extract/CMakeFiles/schemex_extract.dir/sampled.cc.o" "gcc" "src/extract/CMakeFiles/schemex_extract.dir/sampled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/schemex_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/typing/CMakeFiles/schemex_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/schemex_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_extract.dir/extractor.cc.o"
+  "CMakeFiles/schemex_extract.dir/extractor.cc.o.d"
+  "CMakeFiles/schemex_extract.dir/knee.cc.o"
+  "CMakeFiles/schemex_extract.dir/knee.cc.o.d"
+  "CMakeFiles/schemex_extract.dir/prior.cc.o"
+  "CMakeFiles/schemex_extract.dir/prior.cc.o.d"
+  "CMakeFiles/schemex_extract.dir/sampled.cc.o"
+  "CMakeFiles/schemex_extract.dir/sampled.cc.o.d"
+  "libschemex_extract.a"
+  "libschemex_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

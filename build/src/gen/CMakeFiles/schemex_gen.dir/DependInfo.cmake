@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/dbg.cc" "src/gen/CMakeFiles/schemex_gen.dir/dbg.cc.o" "gcc" "src/gen/CMakeFiles/schemex_gen.dir/dbg.cc.o.d"
+  "/root/repo/src/gen/perturb.cc" "src/gen/CMakeFiles/schemex_gen.dir/perturb.cc.o" "gcc" "src/gen/CMakeFiles/schemex_gen.dir/perturb.cc.o.d"
+  "/root/repo/src/gen/random_graph.cc" "src/gen/CMakeFiles/schemex_gen.dir/random_graph.cc.o" "gcc" "src/gen/CMakeFiles/schemex_gen.dir/random_graph.cc.o.d"
+  "/root/repo/src/gen/spec.cc" "src/gen/CMakeFiles/schemex_gen.dir/spec.cc.o" "gcc" "src/gen/CMakeFiles/schemex_gen.dir/spec.cc.o.d"
+  "/root/repo/src/gen/table1.cc" "src/gen/CMakeFiles/schemex_gen.dir/table1.cc.o" "gcc" "src/gen/CMakeFiles/schemex_gen.dir/table1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_gen.dir/dbg.cc.o"
+  "CMakeFiles/schemex_gen.dir/dbg.cc.o.d"
+  "CMakeFiles/schemex_gen.dir/perturb.cc.o"
+  "CMakeFiles/schemex_gen.dir/perturb.cc.o.d"
+  "CMakeFiles/schemex_gen.dir/random_graph.cc.o"
+  "CMakeFiles/schemex_gen.dir/random_graph.cc.o.d"
+  "CMakeFiles/schemex_gen.dir/spec.cc.o"
+  "CMakeFiles/schemex_gen.dir/spec.cc.o.d"
+  "CMakeFiles/schemex_gen.dir/table1.cc.o"
+  "CMakeFiles/schemex_gen.dir/table1.cc.o.d"
+  "libschemex_gen.a"
+  "libschemex_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

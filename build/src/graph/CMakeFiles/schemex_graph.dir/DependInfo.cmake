@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/data_graph.cc" "src/graph/CMakeFiles/schemex_graph.dir/data_graph.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/data_graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/schemex_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/schemex_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/schemex_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/label.cc" "src/graph/CMakeFiles/schemex_graph.dir/label.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/label.cc.o.d"
+  "/root/repo/src/graph/merge.cc" "src/graph/CMakeFiles/schemex_graph.dir/merge.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/merge.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/schemex_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/schemex_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

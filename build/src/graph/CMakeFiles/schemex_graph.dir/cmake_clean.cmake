@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_graph.dir/data_graph.cc.o"
+  "CMakeFiles/schemex_graph.dir/data_graph.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/schemex_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/graph_io.cc.o"
+  "CMakeFiles/schemex_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/schemex_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/label.cc.o"
+  "CMakeFiles/schemex_graph.dir/label.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/merge.cc.o"
+  "CMakeFiles/schemex_graph.dir/merge.cc.o.d"
+  "CMakeFiles/schemex_graph.dir/subgraph.cc.o"
+  "CMakeFiles/schemex_graph.dir/subgraph.cc.o.d"
+  "libschemex_graph.a"
+  "libschemex_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

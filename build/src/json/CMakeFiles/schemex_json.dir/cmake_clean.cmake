@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_json.dir/import.cc.o"
+  "CMakeFiles/schemex_json.dir/import.cc.o.d"
+  "CMakeFiles/schemex_json.dir/json.cc.o"
+  "CMakeFiles/schemex_json.dir/json.cc.o.d"
+  "libschemex_json.a"
+  "libschemex_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/path_query.cc" "src/query/CMakeFiles/schemex_query.dir/path_query.cc.o" "gcc" "src/query/CMakeFiles/schemex_query.dir/path_query.cc.o.d"
+  "/root/repo/src/query/schema_guide.cc" "src/query/CMakeFiles/schemex_query.dir/schema_guide.cc.o" "gcc" "src/query/CMakeFiles/schemex_query.dir/schema_guide.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typing/CMakeFiles/schemex_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/schemex_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_query.dir/path_query.cc.o"
+  "CMakeFiles/schemex_query.dir/path_query.cc.o.d"
+  "CMakeFiles/schemex_query.dir/schema_guide.cc.o"
+  "CMakeFiles/schemex_query.dir/schema_guide.cc.o.d"
+  "libschemex_query.a"
+  "libschemex_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/schemex_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/schemex_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/import.cc" "src/relational/CMakeFiles/schemex_relational.dir/import.cc.o" "gcc" "src/relational/CMakeFiles/schemex_relational.dir/import.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_relational.dir/csv.cc.o"
+  "CMakeFiles/schemex_relational.dir/csv.cc.o.d"
+  "CMakeFiles/schemex_relational.dir/import.cc.o"
+  "CMakeFiles/schemex_relational.dir/import.cc.o.d"
+  "libschemex_relational.a"
+  "libschemex_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

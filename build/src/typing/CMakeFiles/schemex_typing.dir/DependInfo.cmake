@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typing/atomic_sorts.cc" "src/typing/CMakeFiles/schemex_typing.dir/atomic_sorts.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/atomic_sorts.cc.o.d"
+  "/root/repo/src/typing/defect.cc" "src/typing/CMakeFiles/schemex_typing.dir/defect.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/defect.cc.o.d"
+  "/root/repo/src/typing/dot_export.cc" "src/typing/CMakeFiles/schemex_typing.dir/dot_export.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/dot_export.cc.o.d"
+  "/root/repo/src/typing/explain.cc" "src/typing/CMakeFiles/schemex_typing.dir/explain.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/explain.cc.o.d"
+  "/root/repo/src/typing/gfp.cc" "src/typing/CMakeFiles/schemex_typing.dir/gfp.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/gfp.cc.o.d"
+  "/root/repo/src/typing/incremental.cc" "src/typing/CMakeFiles/schemex_typing.dir/incremental.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/incremental.cc.o.d"
+  "/root/repo/src/typing/perfect_typing.cc" "src/typing/CMakeFiles/schemex_typing.dir/perfect_typing.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/perfect_typing.cc.o.d"
+  "/root/repo/src/typing/program_diff.cc" "src/typing/CMakeFiles/schemex_typing.dir/program_diff.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/program_diff.cc.o.d"
+  "/root/repo/src/typing/program_io.cc" "src/typing/CMakeFiles/schemex_typing.dir/program_io.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/program_io.cc.o.d"
+  "/root/repo/src/typing/recast.cc" "src/typing/CMakeFiles/schemex_typing.dir/recast.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/recast.cc.o.d"
+  "/root/repo/src/typing/roles.cc" "src/typing/CMakeFiles/schemex_typing.dir/roles.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/roles.cc.o.d"
+  "/root/repo/src/typing/type_signature.cc" "src/typing/CMakeFiles/schemex_typing.dir/type_signature.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/type_signature.cc.o.d"
+  "/root/repo/src/typing/typed_link.cc" "src/typing/CMakeFiles/schemex_typing.dir/typed_link.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/typed_link.cc.o.d"
+  "/root/repo/src/typing/typing_program.cc" "src/typing/CMakeFiles/schemex_typing.dir/typing_program.cc.o" "gcc" "src/typing/CMakeFiles/schemex_typing.dir/typing_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/schemex_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

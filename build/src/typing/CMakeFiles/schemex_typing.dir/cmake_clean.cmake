@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_typing.dir/atomic_sorts.cc.o"
+  "CMakeFiles/schemex_typing.dir/atomic_sorts.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/defect.cc.o"
+  "CMakeFiles/schemex_typing.dir/defect.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/dot_export.cc.o"
+  "CMakeFiles/schemex_typing.dir/dot_export.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/explain.cc.o"
+  "CMakeFiles/schemex_typing.dir/explain.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/gfp.cc.o"
+  "CMakeFiles/schemex_typing.dir/gfp.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/incremental.cc.o"
+  "CMakeFiles/schemex_typing.dir/incremental.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/perfect_typing.cc.o"
+  "CMakeFiles/schemex_typing.dir/perfect_typing.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/program_diff.cc.o"
+  "CMakeFiles/schemex_typing.dir/program_diff.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/program_io.cc.o"
+  "CMakeFiles/schemex_typing.dir/program_io.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/recast.cc.o"
+  "CMakeFiles/schemex_typing.dir/recast.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/roles.cc.o"
+  "CMakeFiles/schemex_typing.dir/roles.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/type_signature.cc.o"
+  "CMakeFiles/schemex_typing.dir/type_signature.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/typed_link.cc.o"
+  "CMakeFiles/schemex_typing.dir/typed_link.cc.o.d"
+  "CMakeFiles/schemex_typing.dir/typing_program.cc.o"
+  "CMakeFiles/schemex_typing.dir/typing_program.cc.o.d"
+  "libschemex_typing.a"
+  "libschemex_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_util.dir/random.cc.o"
+  "CMakeFiles/schemex_util.dir/random.cc.o.d"
+  "CMakeFiles/schemex_util.dir/status.cc.o"
+  "CMakeFiles/schemex_util.dir/status.cc.o.d"
+  "CMakeFiles/schemex_util.dir/string_util.cc.o"
+  "CMakeFiles/schemex_util.dir/string_util.cc.o.d"
+  "CMakeFiles/schemex_util.dir/table_printer.cc.o"
+  "CMakeFiles/schemex_util.dir/table_printer.cc.o.d"
+  "libschemex_util.a"
+  "libschemex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemex_xml.dir/import.cc.o"
+  "CMakeFiles/schemex_xml.dir/import.cc.o.d"
+  "CMakeFiles/schemex_xml.dir/xml.cc.o"
+  "CMakeFiles/schemex_xml.dir/xml.cc.o.d"
+  "libschemex_xml.a"
+  "libschemex_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemex_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

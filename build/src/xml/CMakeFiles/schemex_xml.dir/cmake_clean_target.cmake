@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libschemex_xml.a"
+)

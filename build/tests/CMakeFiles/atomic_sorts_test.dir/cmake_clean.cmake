@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_sorts_test.dir/atomic_sorts_test.cc.o"
+  "CMakeFiles/atomic_sorts_test.dir/atomic_sorts_test.cc.o.d"
+  "atomic_sorts_test"
+  "atomic_sorts_test.pdb"
+  "atomic_sorts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_sorts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_sampled_test.dir/diff_sampled_test.cc.o"
+  "CMakeFiles/diff_sampled_test.dir/diff_sampled_test.cc.o.d"
+  "diff_sampled_test"
+  "diff_sampled_test.pdb"
+  "diff_sampled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_sampled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_subgraph_test.dir/explain_subgraph_test.cc.o"
+  "CMakeFiles/explain_subgraph_test.dir/explain_subgraph_test.cc.o.d"
+  "explain_subgraph_test"
+  "explain_subgraph_test.pdb"
+  "explain_subgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/gen_test.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/gen_test.dir/gen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/schemex_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/schemex_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/typing/CMakeFiles/schemex_typing.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/schemex_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/schemex_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/schemex_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/schemex_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/schemex_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/schemex_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/schemex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/schemex_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/schemex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/schemex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_reference_test.dir/greedy_reference_test.cc.o"
+  "CMakeFiles/greedy_reference_test.dir/greedy_reference_test.cc.o.d"
+  "greedy_reference_test"
+  "greedy_reference_test.pdb"
+  "greedy_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

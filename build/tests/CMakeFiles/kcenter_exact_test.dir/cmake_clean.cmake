@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcenter_exact_test.dir/kcenter_exact_test.cc.o"
+  "CMakeFiles/kcenter_exact_test.dir/kcenter_exact_test.cc.o.d"
+  "kcenter_exact_test"
+  "kcenter_exact_test.pdb"
+  "kcenter_exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcenter_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knee_dot_test.dir/knee_dot_test.cc.o"
+  "CMakeFiles/knee_dot_test.dir/knee_dot_test.cc.o.d"
+  "knee_dot_test"
+  "knee_dot_test.pdb"
+  "knee_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knee_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

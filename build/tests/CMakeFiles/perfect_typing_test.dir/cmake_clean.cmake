@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfect_typing_test.dir/perfect_typing_test.cc.o"
+  "CMakeFiles/perfect_typing_test.dir/perfect_typing_test.cc.o.d"
+  "perfect_typing_test"
+  "perfect_typing_test.pdb"
+  "perfect_typing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfect_typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

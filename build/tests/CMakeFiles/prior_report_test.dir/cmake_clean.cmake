@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_report_test.dir/prior_report_test.cc.o"
+  "CMakeFiles/prior_report_test.dir/prior_report_test.cc.o.d"
+  "prior_report_test"
+  "prior_report_test.pdb"
+  "prior_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

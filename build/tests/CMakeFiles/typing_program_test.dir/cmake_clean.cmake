@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typing_program_test.dir/typing_program_test.cc.o"
+  "CMakeFiles/typing_program_test.dir/typing_program_test.cc.o.d"
+  "typing_program_test"
+  "typing_program_test.pdb"
+  "typing_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typing_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
