@@ -14,15 +14,29 @@ namespace {
 
 namespace fs = std::filesystem;
 
-util::Status WriteFile(const fs::path& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return util::Status::Internal("cannot open " + path.string() +
-                                  " for writing");
+// Writes to "<path>.tmp" and renames into place, so a concurrent reader
+// opens either the complete old file or the complete new file — never a
+// partially written one.
+util::Status WriteFileAtomic(const fs::path& path, const std::string& content) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return util::Status::Internal("cannot open " + tmp.string() +
+                                    " for writing");
+    }
+    out << content;
+    out.flush();
+    if (!out) return util::Status::Internal("write failed: " + tmp.string());
   }
-  out << content;
-  out.flush();
-  if (!out) return util::Status::Internal("write failed: " + path.string());
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return util::Status::Internal("rename to " + path.string() +
+                                  " failed: " + ec.message());
+  }
   return util::Status::OK();
 }
 
@@ -117,13 +131,13 @@ util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
     return util::Status::Internal("cannot create directory " + dir + ": " +
                                   ec.message());
   }
-  SCHEMEX_RETURN_IF_ERROR(
-      WriteFile(fs::path(dir) / "graph.sxg", graph::WriteGraph(ws.graph)));
-  SCHEMEX_RETURN_IF_ERROR(WriteFile(
+  SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "graph.sxg",
+                                          graph::WriteGraph(ws.graph)));
+  SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(
       fs::path(dir) / "schema.dl",
       typing::WriteTypingProgram(ws.program, ws.graph.labels())));
-  SCHEMEX_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "assignment.tsv",
-                                    AssignmentToTsv(ws.assignment)));
+  SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "assignment.tsv",
+                                          AssignmentToTsv(ws.assignment)));
   return util::Status::OK();
 }
 

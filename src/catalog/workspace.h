@@ -28,6 +28,12 @@ struct Workspace {
 ///   <dir>/schema.dl        datalog text (typing/program_io.h)
 ///   <dir>/assignment.tsv   "<object-id>\t<type-id>[,<type-id>...]" rows
 /// The directory is created if missing; existing files are overwritten.
+///
+/// Each file is written to "<file>.tmp" and renamed into place, so a
+/// concurrent LoadWorkspace never reads a partially written file. A
+/// reader interleaving between the three renames can still pair files
+/// from different generations; LoadWorkspace's Validate() turns that
+/// into a clean error (retryable) rather than silent corruption.
 util::Status SaveWorkspace(const Workspace& ws, const std::string& dir);
 
 /// Loads a workspace saved by SaveWorkspace. Missing schema/assignment

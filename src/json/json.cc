@@ -250,4 +250,116 @@ util::StatusOr<Value> Parse(std::string_view text) {
   return p.Run();
 }
 
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          *out += util::StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void SerializeTo(const Value& v, int indent, int depth, std::string* out) {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      *out += "null";
+      return;
+    case Value::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case Value::Kind::kNumber:
+      // ScalarToString is the preserved source text (or %g rendering).
+      *out += v.ScalarToString();
+      return;
+    case Value::Kind::kString:
+      AppendEscaped(v.AsString(), out);
+      return;
+    case Value::Kind::kArray: {
+      const auto& items = v.AsArray();
+      if (items.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        SerializeTo(items[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Value::Kind::kObject: {
+      const auto& fields = v.AsObject();
+      if (fields.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : fields) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(key, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        SerializeTo(val, indent, depth + 1, out);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Value& v) {
+  std::string out;
+  SerializeTo(v, /*indent=*/0, /*depth=*/0, &out);
+  return out;
+}
+
+std::string SerializePretty(const Value& v, int indent) {
+  std::string out;
+  SerializeTo(v, indent, /*depth=*/0, &out);
+  return out;
+}
+
 }  // namespace schemex::json

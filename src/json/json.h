@@ -56,6 +56,15 @@ class Value {
 /// with an offset on malformed input.
 util::StatusOr<Value> Parse(std::string_view text);
 
+/// Serializes `v` back to compact (single-line) JSON text. Numbers emit
+/// their preserved source text, so Parse/Serialize round-trips integers
+/// exactly. Strings are escaped per RFC 8259 (control characters as
+/// \uXXXX); object keys come out in the map's sorted order.
+std::string Serialize(const Value& v);
+
+/// Serialize with `indent`-space indentation and newlines, for humans.
+std::string SerializePretty(const Value& v, int indent = 2);
+
 }  // namespace schemex::json
 
 #endif  // SCHEMEX_JSON_JSON_H_

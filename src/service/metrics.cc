@@ -1,0 +1,114 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace schemex::service {
+
+namespace {
+
+// Bucket i covers (BucketUpperMs(i-1), BucketUpperMs(i)]. The ladder
+// starts at 1us and grows by 1.6x per step; 64 steps reach ~10^10 ms,
+// far past any plausible request.
+constexpr double kFirstUpperMs = 1e-3;
+constexpr double kGrowth = 1.6;
+
+size_t BucketIndex(double latency_ms) {
+  if (latency_ms <= kFirstUpperMs) return 0;
+  double upper = kFirstUpperMs;
+  for (size_t i = 1; i < MetricsRegistry::kNumBuckets; ++i) {
+    upper *= kGrowth;
+    if (latency_ms <= upper) return i;
+  }
+  return MetricsRegistry::kNumBuckets - 1;
+}
+
+double PercentileFromBuckets(
+    const std::array<uint64_t, MetricsRegistry::kNumBuckets>& buckets,
+    uint64_t count, double q) {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return MetricsRegistry::BucketUpperMs(i);
+  }
+  return MetricsRegistry::BucketUpperMs(buckets.size() - 1);
+}
+
+}  // namespace
+
+double MetricsRegistry::BucketUpperMs(size_t i) {
+  double upper = kFirstUpperMs;
+  for (size_t k = 0; k < i; ++k) upper *= kGrowth;
+  return upper;
+}
+
+void MetricsRegistry::Record(const std::string& verb, double latency_ms,
+                             bool ok, bool timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(recorders_.begin(), recorders_.end(),
+                         [&](const auto& p) { return p.first == verb; });
+  if (it == recorders_.end()) {
+    recorders_.emplace_back(verb, Recorder{});
+    it = recorders_.end() - 1;
+  }
+  Recorder& r = it->second;
+  ++r.count;
+  if (!ok) ++r.errors;
+  if (timeout) ++r.timeouts;
+  r.total_ms += latency_ms;
+  r.max_ms = std::max(r.max_ms, latency_ms);
+  ++r.buckets[BucketIndex(latency_ms)];
+}
+
+std::vector<VerbStats> MetricsRegistry::Snapshot() const {
+  std::vector<VerbStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(recorders_.size());
+    for (const auto& [verb, r] : recorders_) {
+      VerbStats s;
+      s.verb = verb;
+      s.count = r.count;
+      s.errors = r.errors;
+      s.timeouts = r.timeouts;
+      s.total_ms = r.total_ms;
+      s.max_ms = r.max_ms;
+      // A percentile is a bucket's upper bound, which can overshoot the
+      // true maximum on sparse data — clamp so p50 <= max always holds.
+      s.p50_ms =
+          std::min(PercentileFromBuckets(r.buckets, r.count, 0.50), r.max_ms);
+      s.p95_ms =
+          std::min(PercentileFromBuckets(r.buckets, r.count, 0.95), r.max_ms);
+      s.p99_ms =
+          std::min(PercentileFromBuckets(r.buckets, r.count, 0.99), r.max_ms);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VerbStats& a, const VerbStats& b) { return a.verb < b.verb; });
+  return out;
+}
+
+json::Value VerbStats::ToJson() const {
+  std::map<std::string, json::Value> f;
+  f["verb"] = json::Value::String(verb);
+  f["count"] = json::Value::Number(static_cast<double>(count),
+                                   std::to_string(count));
+  f["errors"] = json::Value::Number(static_cast<double>(errors),
+                                    std::to_string(errors));
+  f["timeouts"] = json::Value::Number(static_cast<double>(timeouts),
+                                      std::to_string(timeouts));
+  f["total_ms"] = json::Value::Number(total_ms);
+  f["p50_ms"] = json::Value::Number(p50_ms);
+  f["p95_ms"] = json::Value::Number(p95_ms);
+  f["p99_ms"] = json::Value::Number(p99_ms);
+  f["max_ms"] = json::Value::Number(max_ms);
+  return json::Value::Object(std::move(f));
+}
+
+}  // namespace schemex::service

@@ -1,0 +1,70 @@
+#ifndef SCHEMEX_SERVICE_METRICS_H_
+#define SCHEMEX_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace schemex::service {
+
+/// Latency summary of one verb, produced by MetricsRegistry::Snapshot().
+/// Percentiles are read off a fixed log-scale histogram, so they carry
+/// bucket-resolution error (~25%) — plenty for a `stats` verb whose job
+/// is spotting order-of-magnitude regressions.
+struct VerbStats {
+  std::string verb;
+  uint64_t count = 0;     ///< requests finished (ok + error)
+  uint64_t errors = 0;    ///< non-OK responses, timeouts included
+  uint64_t timeouts = 0;  ///< subset of errors: DeadlineExceeded
+  double total_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  json::Value ToJson() const;
+};
+
+/// Thread-safe per-verb counters + latency histograms for the service.
+///
+/// The histogram is a fixed ladder of ~64 buckets growing geometrically
+/// from 1 microsecond; recording is a mutex-guarded increment (the mutex
+/// is per-registry: contention is negligible next to request work, and a
+/// single lock keeps Snapshot consistent).
+class MetricsRegistry {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Records one finished request for `verb`.
+  void Record(const std::string& verb, double latency_ms, bool ok,
+              bool timeout);
+
+  /// Consistent snapshot of every verb seen so far, sorted by verb name.
+  std::vector<VerbStats> Snapshot() const;
+
+  /// Upper bound (ms) of histogram bucket `i` — exposed for tests.
+  static double BucketUpperMs(size_t i);
+
+ private:
+  struct Recorder {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t timeouts = 0;
+    double total_ms = 0;
+    double max_ms = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+
+  mutable std::mutex mu_;
+  // Small map; a vector of pairs keeps Snapshot ordering deterministic.
+  std::vector<std::pair<std::string, Recorder>> recorders_;
+};
+
+}  // namespace schemex::service
+
+#endif  // SCHEMEX_SERVICE_METRICS_H_

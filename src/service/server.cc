@@ -1,0 +1,419 @@
+#include "service/server.h"
+
+#include <atomic>
+#include <future>
+#include <utility>
+
+#include "extract/extractor.h"
+#include "extract/knee.h"
+#include "query/path_query.h"
+#include "query/schema_guide.h"
+#include "typing/defect.h"
+#include "typing/gfp.h"
+#include "typing/program_io.h"
+#include "util/string_util.h"
+
+namespace schemex::service {
+
+namespace {
+
+using json::Value;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0,
+                    std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - t0).count();
+}
+
+Value WorkspaceSummary(const std::string& name, const catalog::Workspace& ws) {
+  std::map<std::string, Value> f;
+  f["name"] = Value::String(name);
+  f["objects"] = JsonUint(ws.graph.NumObjects());
+  f["complex_objects"] = JsonUint(ws.graph.NumComplexObjects());
+  f["atomic_objects"] = JsonUint(ws.graph.NumAtomicObjects());
+  f["edges"] = JsonUint(ws.graph.NumEdges());
+  f["num_types"] = JsonUint(ws.program.NumTypes());
+  f["typed_objects"] = JsonUint(ws.assignment.NumTypedObjects());
+  return Value::Object(std::move(f));
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      pool_(std::make_unique<util::ThreadPool>(options.num_threads)) {}
+
+Server::~Server() { pool_->Shutdown(); }
+
+double Server::EffectiveTimeout(const Request& req) const {
+  return req.timeout_s > 0 ? req.timeout_s : options_.default_timeout_s;
+}
+
+void Server::HandleAsync(Request req, std::function<void(Response)> done) {
+  const Clock::time_point arrival = Clock::now();
+  const double timeout_s = EffectiveTimeout(req);
+  pool_->Submit([this, req = std::move(req), done = std::move(done), arrival,
+                 timeout_s]() {
+    Response resp;
+    resp.id = req.id;
+    const double queued_s = SecondsSince(arrival, Clock::now());
+    if (timeout_s > 0 && queued_s > timeout_s) {
+      resp.status = util::Status::DeadlineExceeded(util::StringPrintf(
+          "request spent %.3fs queued, budget %.3fs", queued_s, timeout_s));
+    } else {
+      auto result = Dispatch(req);
+      if (result.ok()) {
+        resp.result = *std::move(result);
+      } else {
+        resp.status = result.status();
+      }
+    }
+    const double latency_ms = SecondsSince(arrival, Clock::now()) * 1e3;
+    metrics_.Record(
+        std::string(VerbToString(req.verb)), latency_ms, resp.status.ok(),
+        resp.status.code() == util::StatusCode::kDeadlineExceeded);
+    done(resp);
+  });
+}
+
+Response Server::Handle(const Request& req) {
+  const Clock::time_point arrival = Clock::now();
+  const double timeout_s = EffectiveTimeout(req);
+
+  // `delivered` decides who reports the outcome: normally the worker; on
+  // a wait-timeout the caller wins the flag, reports DeadlineExceeded,
+  // and the worker's late result is discarded (it must not double-count
+  // metrics for a request the client already gave up on).
+  struct SyncState {
+    std::promise<Response> promise;
+    std::atomic<bool> delivered{false};
+  };
+  auto state = std::make_shared<SyncState>();
+  std::future<Response> future = state->promise.get_future();
+
+  pool_->Submit([this, req, state, arrival, timeout_s]() {
+    Response resp;
+    resp.id = req.id;
+    const double queued_s = SecondsSince(arrival, Clock::now());
+    if (timeout_s > 0 && queued_s > timeout_s) {
+      resp.status = util::Status::DeadlineExceeded(util::StringPrintf(
+          "request spent %.3fs queued, budget %.3fs", queued_s, timeout_s));
+    } else {
+      auto result = Dispatch(req);
+      if (result.ok()) {
+        resp.result = *std::move(result);
+      } else {
+        resp.status = result.status();
+      }
+    }
+    bool expected = false;
+    if (state->delivered.compare_exchange_strong(expected, true)) {
+      const double latency_ms = SecondsSince(arrival, Clock::now()) * 1e3;
+      metrics_.Record(
+          std::string(VerbToString(req.verb)), latency_ms, resp.status.ok(),
+          resp.status.code() == util::StatusCode::kDeadlineExceeded);
+      state->promise.set_value(std::move(resp));
+    }
+  });
+
+  if (timeout_s > 0) {
+    if (future.wait_for(std::chrono::duration<double>(timeout_s)) ==
+        std::future_status::timeout) {
+      bool expected = false;
+      if (state->delivered.compare_exchange_strong(expected, true)) {
+        Response resp;
+        resp.id = req.id;
+        resp.status = util::Status::DeadlineExceeded(util::StringPrintf(
+            "request exceeded its %.3fs budget (worker still running; "
+            "result discarded)",
+            timeout_s));
+        metrics_.Record(std::string(VerbToString(req.verb)), timeout_s * 1e3,
+                        /*ok=*/false, /*timeout=*/true);
+        return resp;
+      }
+      // The worker delivered in the race window; fall through and take
+      // its response.
+    }
+  }
+  return future.get();
+}
+
+std::string Server::HandleJsonLine(const std::string& line) {
+  auto req = ParseRequestJson(line);
+  if (!req.ok()) {
+    Response resp;
+    resp.status = req.status();
+    metrics_.Record("invalid", 0.0, /*ok=*/false, /*timeout=*/false);
+    return SerializeResponse(resp);
+  }
+  return SerializeResponse(Handle(*req));
+}
+
+util::Status Server::InstallWorkspace(const std::string& name,
+                                      catalog::Workspace ws) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("workspace name must be non-empty");
+  }
+  SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  PutWorkspace(name, std::move(ws));
+  return util::Status::OK();
+}
+
+std::vector<std::string> Server::WorkspaceNames() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  std::vector<std::string> names;
+  names.reserve(cache_.size());
+  for (const auto& [name, ws] : cache_) names.push_back(name);
+  return names;
+}
+
+util::StatusOr<Server::WorkspacePtr> Server::GetWorkspace(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  auto it = cache_.find(name);
+  if (it == cache_.end()) {
+    return util::Status::NotFound("no workspace named \"" + name +
+                                  "\" (load_workspace first)");
+  }
+  return it->second;
+}
+
+void Server::PutWorkspace(const std::string& name, catalog::Workspace ws) {
+  auto snapshot = std::make_shared<const catalog::Workspace>(std::move(ws));
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  cache_[name] = std::move(snapshot);
+}
+
+util::StatusOr<json::Value> Server::Dispatch(const Request& req) {
+  switch (req.verb) {
+    case Verb::kLoadWorkspace:
+      return HandleLoadWorkspace(req.load);
+    case Verb::kExtract:
+      return HandleExtract(req.extract);
+    case Verb::kType:
+      return HandleType(req.type);
+    case Verb::kQuery:
+      return HandleQuery(req.query);
+    case Verb::kStats:
+      return HandleStats();
+    case Verb::kListWorkspaces:
+      return HandleListWorkspaces();
+  }
+  return util::Status::Internal("unhandled verb");
+}
+
+util::StatusOr<json::Value> Server::HandleLoadWorkspace(
+    const LoadWorkspaceParams& p) {
+  if (p.name.empty()) {
+    return util::Status::InvalidArgument("workspace name must be non-empty");
+  }
+  SCHEMEX_ASSIGN_OR_RETURN(catalog::Workspace ws,
+                           catalog::LoadWorkspace(p.dir));
+  Value summary = WorkspaceSummary(p.name, ws);
+  PutWorkspace(p.name, std::move(ws));
+  return summary;
+}
+
+util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p) {
+  SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
+  const graph::DataGraph& g = snapshot->graph;
+
+  extract::ExtractorOptions opt;
+  opt.stage1 = p.stage1 == "gfp"
+                   ? extract::ExtractorOptions::Stage1Algorithm::kGfp
+                   : extract::ExtractorOptions::Stage1Algorithm::kRefinement;
+  opt.decompose_roles = p.decompose_roles;
+
+  // k == 0 = automatic: sweep the k axis and take the §8 knee within the
+  // epsilon tolerance.
+  size_t chosen_k = static_cast<size_t>(p.k);
+  bool auto_k = chosen_k == 0;
+  if (auto_k) {
+    extract::KneeOptions knee_opt;
+    knee_opt.max_types = static_cast<size_t>(p.max_types);
+    knee_opt.tolerance = p.epsilon;
+    SCHEMEX_ASSIGN_OR_RETURN(std::vector<extract::SensitivityPoint> sweep,
+                             extract::SensitivitySweep(g, opt));
+    extract::Knee knee = extract::FindKnee(sweep, knee_opt);
+    chosen_k = knee.k;  // 0 on an empty sweep: keep the perfect typing
+  }
+  opt.target_num_types = chosen_k;
+
+  SCHEMEX_ASSIGN_OR_RETURN(extract::ExtractionResult result,
+                           extract::SchemaExtractor(opt).Run(g));
+
+  catalog::Workspace next;
+  next.graph = g;  // copy; the snapshot stays live for concurrent readers
+  next.program = result.final_program;
+  next.assignment = result.recast.assignment;
+  SCHEMEX_RETURN_IF_ERROR(next.Validate());
+
+  if (!p.save_dir.empty()) {
+    SCHEMEX_RETURN_IF_ERROR(catalog::SaveWorkspace(next, p.save_dir));
+  }
+
+  std::map<std::string, Value> f;
+  f["workspace"] = Value::String(p.workspace);
+  f["k"] = JsonUint(chosen_k);
+  f["auto_k"] = Value::Bool(auto_k);
+  f["num_perfect_types"] = JsonUint(result.num_perfect_types);
+  f["num_final_types"] = JsonUint(result.num_final_types);
+  {
+    std::map<std::string, Value> d;
+    d["excess"] = JsonUint(result.defect.excess);
+    d["deficit"] = JsonUint(result.defect.deficit);
+    d["defect"] = JsonUint(result.defect.defect());
+    f["defect"] = Value::Object(std::move(d));
+  }
+  {
+    std::map<std::string, Value> r;
+    r["exact"] = JsonUint(result.recast.num_exact);
+    r["fallback"] = JsonUint(result.recast.num_fallback);
+    r["untyped"] = JsonUint(result.recast.num_untyped);
+    f["recast"] = Value::Object(std::move(r));
+  }
+  if (!p.save_dir.empty()) f["saved_to"] = Value::String(p.save_dir);
+
+  PutWorkspace(p.workspace, std::move(next));
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
+  SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
+  const graph::DataGraph& g = snapshot->graph;
+
+  // Parse against a copy of the graph's interner: existing labels keep
+  // their ids; labels unknown to the graph get fresh out-of-table ids and
+  // simply never match an edge. The shared snapshot is never mutated.
+  typing::TypingProgram program;
+  bool inline_program = !p.program.empty();
+  if (inline_program) {
+    graph::LabelInterner labels = g.labels();
+    SCHEMEX_ASSIGN_OR_RETURN(program,
+                             typing::ReadTypingProgram(p.program, &labels));
+  } else {
+    if (snapshot->program.NumTypes() == 0) {
+      return util::Status::FailedPrecondition(
+          "workspace has no schema; pass \"program\" or run extract");
+    }
+    program = snapshot->program;
+  }
+
+  typing::GfpStats gfp_stats;
+  SCHEMEX_ASSIGN_OR_RETURN(typing::Extents extents,
+                           typing::ComputeGfp(program, g, &gfp_stats));
+
+  std::vector<Value> types;
+  size_t nonempty = 0;
+  for (size_t t = 0; t < extents.NumTypes(); ++t) {
+    size_t count = extents.per_type[t].Count();
+    if (count > 0) ++nonempty;
+    std::map<std::string, Value> tf;
+    tf["name"] = Value::String(program.type(static_cast<typing::TypeId>(t)).name);
+    tf["extent"] = JsonUint(count);
+    types.push_back(Value::Object(std::move(tf)));
+  }
+
+  std::map<std::string, Value> f;
+  f["workspace"] = Value::String(p.workspace);
+  f["num_types"] = JsonUint(program.NumTypes());
+  f["nonempty_extents"] = JsonUint(nonempty);
+  f["types"] = Value::Array(std::move(types));
+  {
+    std::map<std::string, Value> s;
+    s["initial_candidates"] = JsonUint(gfp_stats.initial_candidates);
+    s["rechecks"] = JsonUint(gfp_stats.rechecks);
+    s["removed"] = JsonUint(gfp_stats.removed);
+    f["gfp"] = Value::Object(std::move(s));
+  }
+  f["committed"] = Value::Bool(p.commit);
+
+  if (p.commit) {
+    catalog::Workspace next;
+    next.graph = g;
+    next.program = std::move(program);
+    next.assignment = typing::ExtentsToAssignment(extents);
+    // An inline program may reference labels outside the graph's table;
+    // Validate rejects that, so a bad commit fails before the swap.
+    SCHEMEX_RETURN_IF_ERROR(next.Validate());
+    PutWorkspace(p.workspace, std::move(next));
+  }
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleQuery(const QueryParams& p) {
+  SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
+  const graph::DataGraph& g = snapshot->graph;
+
+  SCHEMEX_ASSIGN_OR_RETURN(query::PathQuery q,
+                           query::ParsePathQuery(p.query));
+
+  query::QueryStats qstats;
+  std::vector<graph::ObjectId> results;
+  const bool guided = p.use_guide && snapshot->program.NumTypes() > 0;
+  if (guided) {
+    // The guide borrows the snapshot's program/assignment; the
+    // shared_ptr keeps them alive for the whole evaluation.
+    query::SchemaGuide guide(snapshot->program, snapshot->assignment);
+    results = guide.Evaluate(g, q, &qstats);
+  } else {
+    results = query::EvaluatePathQuery(g, q, {}, &qstats);
+  }
+
+  std::vector<Value> objects;
+  const size_t limit = static_cast<size_t>(p.limit);
+  objects.reserve(std::min(results.size(), limit));
+  for (size_t i = 0; i < results.size() && i < limit; ++i) {
+    graph::ObjectId o = results[i];
+    const std::string& name = g.Name(o);
+    std::map<std::string, Value> of;
+    of["id"] = JsonUint(o);
+    of["name"] = Value::String(
+        name.empty() ? util::StringPrintf("_o%u", o) : name);
+    if (g.IsAtomic(o)) of["value"] = Value::String(g.Value(o));
+    objects.push_back(Value::Object(std::move(of)));
+  }
+
+  std::map<std::string, Value> f;
+  f["workspace"] = Value::String(p.workspace);
+  f["count"] = JsonUint(results.size());
+  f["guided"] = Value::Bool(guided);
+  f["objects"] = Value::Array(std::move(objects));
+  {
+    std::map<std::string, Value> s;
+    s["edges_scanned"] = JsonUint(qstats.edges_scanned);
+    s["objects_visited"] = JsonUint(qstats.objects_visited);
+    f["stats"] = Value::Object(std::move(s));
+  }
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleStats() {
+  std::vector<Value> verbs;
+  for (const VerbStats& s : metrics_.Snapshot()) {
+    verbs.push_back(s.ToJson());
+  }
+  std::map<std::string, Value> f;
+  f["verbs"] = Value::Array(std::move(verbs));
+  f["workspaces"] = JsonUint(WorkspaceNames().size());
+  f["threads"] = JsonUint(pool_->num_threads());
+  f["queue_depth"] = JsonUint(pool_->QueueDepth());
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleListWorkspaces() {
+  std::vector<std::pair<std::string, WorkspacePtr>> entries;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    entries.assign(cache_.begin(), cache_.end());
+  }
+  std::vector<Value> out;
+  out.reserve(entries.size());
+  for (const auto& [name, ws] : entries) {
+    out.push_back(WorkspaceSummary(name, *ws));
+  }
+  std::map<std::string, Value> f;
+  f["workspaces"] = Value::Array(std::move(out));
+  return Value::Object(std::move(f));
+}
+
+}  // namespace schemex::service

@@ -1,0 +1,73 @@
+#ifndef SCHEMEX_UTIL_THREAD_POOL_H_
+#define SCHEMEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace schemex::util {
+
+/// A fixed-size worker pool with a FIFO task queue. Tasks are submitted as
+/// callables and their results (or thrown exceptions) travel back through
+/// std::future. All workers are joined on destruction or Shutdown() — the
+/// pool never detaches a thread.
+///
+/// Shutdown semantics: Shutdown() stops admission immediately, lets the
+/// workers drain every task already queued, then joins them. Submitting to
+/// a stopped pool throws std::runtime_error (the pool is infrastructure,
+/// not part of the Status-based library API; misuse here is a programming
+/// error surfaced eagerly).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws,
+  /// the exception is captured and rethrown by future::get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Stops admission, drains the queue, joins all workers. Idempotent and
+  /// safe to call concurrently with Submit (the loser of the race throws).
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks queued but not yet picked up by a worker (snapshot).
+  size_t QueueDepth() const;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::mutex join_mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "catalog/workspace.h"
 #include "extract/extractor.h"
@@ -115,6 +117,106 @@ TEST_F(CatalogTest, CorruptAssignmentRejected) {
     out << "no tab here\n";
   }
   EXPECT_FALSE(LoadWorkspace(dir_.string()).ok());
+}
+
+TEST_F(CatalogTest, CorruptAssignmentVariants) {
+  Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  // A real signature: an empty one would not survive the schema.dl
+  // round-trip (datalog rules need at least one body atom).
+  graph::LabelId name = ws.graph.InternLabel("name");
+  ws.program.AddType(
+      "t", typing::TypeSignature::FromLinks({typing::TypedLink::OutAtomic(name)}));
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment.Assign(0, 0);
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+
+  auto scribble = [&](const char* text) {
+    std::ofstream out(dir_ / "assignment.tsv");
+    out << text;
+  };
+  // Non-numeric type token.
+  scribble("0\tbanana\n");
+  EXPECT_EQ(LoadWorkspace(dir_.string()).status().code(),
+            util::StatusCode::kParseError);
+  // Type id outside the program: parses but fails Validate.
+  scribble("0\t7\n");
+  EXPECT_EQ(LoadWorkspace(dir_.string()).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  // Comments and blank lines are fine; a trailing junk line is not.
+  scribble("# comment\n\n0\t0\n1\n");
+  EXPECT_EQ(LoadWorkspace(dir_.string()).status().code(),
+            util::StatusCode::kParseError);
+  // A valid rewrite loads again.
+  scribble("0\t0\n");
+  EXPECT_TRUE(LoadWorkspace(dir_.string()).ok());
+}
+
+TEST_F(CatalogTest, GraphOnlyDirectoryLoadsEmptySchema) {
+  // A directory holding just graph.sxg — e.g. freshly imported data that
+  // the service has not extracted yet — loads with an empty program and
+  // an all-untyped assignment sized to the graph.
+  Workspace ws;
+  ws.graph = test::MakeFigure5Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+  fs::remove(dir_ / "schema.dl");
+  fs::remove(dir_ / "assignment.tsv");
+
+  ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
+  EXPECT_EQ(back.program.NumTypes(), 0u);
+  EXPECT_EQ(back.assignment.NumObjects(), ws.graph.NumObjects());
+  EXPECT_EQ(back.assignment.NumTypedObjects(), 0u);
+  EXPECT_OK(back.Validate());
+}
+
+TEST_F(CatalogTest, SaveLeavesNoTempFiles) {
+  Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(SaveWorkspace(ws, dir_.string()));
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+TEST_F(CatalogTest, ConcurrentSaveAndLoadNeverTears) {
+  // The service's cache-refresh path re-saves a workspace while another
+  // thread may be loading it. Atomic per-file replacement guarantees a
+  // reader sees complete files: every load either succeeds with a
+  // self-consistent workspace or fails with a clean cross-generation
+  // Validate/parse error — never a half-written graph.
+  Workspace small;
+  small.graph = test::MakeFigure2Database();
+  small.assignment = typing::TypeAssignment(small.graph.NumObjects());
+
+  auto big_graph = gen::MakeDbgDataset(5);
+  ASSERT_TRUE(big_graph.ok());
+  Workspace big;
+  big.graph = *big_graph;
+  big.assignment = typing::TypeAssignment(big.graph.NumObjects());
+
+  ASSERT_OK(SaveWorkspace(small, dir_.string()));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto ws = LoadWorkspace(dir_.string());
+      if (!ws.ok()) continue;  // cross-generation pairing: clean error
+      size_t n = ws->graph.NumObjects();
+      if (n != small.graph.NumObjects() && n != big.graph.NumObjects()) {
+        ++torn;  // a size matching neither generation = torn file
+      }
+      if (!ws->graph.Validate().ok()) ++torn;
+    }
+  });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_OK(SaveWorkspace(i % 2 == 0 ? big : small, dir_.string()));
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
 }
 
 }  // namespace

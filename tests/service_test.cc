@@ -1,0 +1,407 @@
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/workspace.h"
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "gen/random_graph.h"
+#include "json/json.h"
+#include "service/request.h"
+#include "tests/test_util.h"
+
+namespace schemex::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+using json::Value;
+
+/// Pulls a field out of a response result object.
+const Value& Field(const Value& obj, const std::string& key) {
+  auto it = obj.AsObject().find(key);
+  EXPECT_NE(it, obj.AsObject().end()) << "missing field " << key;
+  static const Value kNull;
+  return it == obj.AsObject().end() ? kNull : it->second;
+}
+
+catalog::Workspace MakeDbgWorkspace(uint64_t seed = 3) {
+  auto g = gen::MakeDbgDataset(seed);
+  EXPECT_TRUE(g.ok());
+  extract::ExtractorOptions opt;
+  opt.target_num_types = 6;
+  auto r = extract::SchemaExtractor(opt).Run(*g);
+  EXPECT_TRUE(r.ok());
+  catalog::Workspace ws;
+  ws.graph = *std::move(g);
+  ws.program = r->final_program;
+  ws.assignment = r->recast.assignment;
+  return ws;
+}
+
+Request MakeRequest(Verb verb, int64_t id = 1) {
+  Request req;
+  req.id = id;
+  req.verb = verb;
+  return req;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("schemexd_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ServiceTest, LoadWorkspaceVerb) {
+  catalog::Workspace ws = MakeDbgWorkspace();
+  ASSERT_OK(catalog::SaveWorkspace(ws, dir_.string()));
+
+  Server server;
+  Request req = MakeRequest(Verb::kLoadWorkspace);
+  req.load.name = "dbg";
+  req.load.dir = dir_.string();
+  Response resp = server.Handle(req);
+  ASSERT_OK(resp.status);
+  EXPECT_EQ(Field(resp.result, "objects").AsNumber(), ws.graph.NumObjects());
+  EXPECT_EQ(Field(resp.result, "num_types").AsNumber(), 6);
+  EXPECT_EQ(server.WorkspaceNames(), std::vector<std::string>{"dbg"});
+
+  // Loading a missing directory is a NotFound error, not a crash.
+  req.load.dir = (dir_ / "missing").string();
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.status.code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, ExtractVerbReplacesSchema) {
+  Server server;
+  catalog::Workspace ws;
+  ws.graph = MakeDbgWorkspace().graph;
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(server.InstallWorkspace("dbg", std::move(ws)));
+
+  Request req = MakeRequest(Verb::kExtract);
+  req.extract.workspace = "dbg";
+  req.extract.k = 6;
+  req.extract.save_dir = dir_.string();
+  Response resp = server.Handle(req);
+  ASSERT_OK(resp.status);
+  EXPECT_EQ(Field(resp.result, "num_final_types").AsNumber(), 6);
+  EXPECT_GT(Field(resp.result, "num_perfect_types").AsNumber(), 6);
+  EXPECT_FALSE(Field(resp.result, "auto_k").AsBool());
+
+  // The workspace now has a schema: `type` with no inline program works.
+  Request type_req = MakeRequest(Verb::kType);
+  type_req.type.workspace = "dbg";
+  resp = server.Handle(type_req);
+  ASSERT_OK(resp.status);
+  EXPECT_EQ(Field(resp.result, "num_types").AsNumber(), 6);
+
+  // And save_dir persisted a loadable workspace.
+  ASSERT_OK_AND_ASSIGN(catalog::Workspace back,
+                       catalog::LoadWorkspace(dir_.string()));
+  EXPECT_EQ(back.program.NumTypes(), 6u);
+}
+
+TEST_F(ServiceTest, ExtractAutoKPicksKnee) {
+  Server server;
+  ASSERT_OK(server.InstallWorkspace("dbg", MakeDbgWorkspace()));
+  Request req = MakeRequest(Verb::kExtract);
+  req.extract.workspace = "dbg";
+  req.extract.k = 0;  // auto
+  Response resp = server.Handle(req);
+  ASSERT_OK(resp.status);
+  EXPECT_TRUE(Field(resp.result, "auto_k").AsBool());
+  double k = Field(resp.result, "k").AsNumber();
+  EXPECT_GE(k, 1);
+  EXPECT_LE(k, 20);
+}
+
+TEST_F(ServiceTest, TypeVerbWithInlineProgram) {
+  Server server;
+  catalog::Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(server.InstallWorkspace("fig2", std::move(ws)));
+
+  Request req = MakeRequest(Verb::kType);
+  req.type.workspace = "fig2";
+  req.type.program = R"(
+    person(X) :- link(X, Y, "is-manager-of"), firm(Y),
+                 link(X, Z, "name"), atomic(Z).
+    firm(X)   :- link(X, Y, "is-managed-by"), person(Y),
+                 link(X, Z, "name"), atomic(Z).
+  )";
+  req.type.commit = true;
+  Response resp = server.Handle(req);
+  ASSERT_OK(resp.status);
+  EXPECT_EQ(Field(resp.result, "num_types").AsNumber(), 2);
+  EXPECT_EQ(Field(resp.result, "nonempty_extents").AsNumber(), 2);
+  // Both extents have the two managers / two firms.
+  for (const Value& t : Field(resp.result, "types").AsArray()) {
+    EXPECT_EQ(Field(t, "extent").AsNumber(), 2);
+  }
+
+  // Committed: guided queries now work against the installed schema.
+  Request q = MakeRequest(Verb::kQuery);
+  q.query.workspace = "fig2";
+  q.query.query = "is-manager-of.name";
+  Response qresp = server.Handle(q);
+  ASSERT_OK(qresp.status);
+  EXPECT_TRUE(Field(qresp.result, "guided").AsBool());
+  EXPECT_EQ(Field(qresp.result, "count").AsNumber(), 2);
+}
+
+TEST_F(ServiceTest, TypeVerbWithoutSchemaFails) {
+  Server server;
+  catalog::Workspace ws;
+  ws.graph = test::MakeFigure2Database();
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(server.InstallWorkspace("fig2", std::move(ws)));
+  Request req = MakeRequest(Verb::kType);
+  req.type.workspace = "fig2";
+  Response resp = server.Handle(req);
+  EXPECT_EQ(resp.status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceTest, QueryVerbGuidedAndUnguided) {
+  Server server;
+  ASSERT_OK(server.InstallWorkspace("dbg", MakeDbgWorkspace()));
+
+  Request req = MakeRequest(Verb::kQuery);
+  req.query.workspace = "dbg";
+  req.query.query = "project.name";
+  req.query.limit = 5;
+  Response guided = server.Handle(req);
+  ASSERT_OK(guided.status);
+  EXPECT_TRUE(Field(guided.result, "guided").AsBool());
+
+  req.query.use_guide = false;
+  Response unguided = server.Handle(req);
+  ASSERT_OK(unguided.status);
+  EXPECT_FALSE(Field(unguided.result, "guided").AsBool());
+
+  // The guide prunes start candidates; with the exact perfect typing it
+  // would be lossless, with k=6 it may under-report but never over-report.
+  EXPECT_LE(Field(guided.result, "count").AsNumber(),
+            Field(unguided.result, "count").AsNumber());
+  EXPECT_LE(Field(guided.result, "objects").AsArray().size(), 5u);
+
+  // Malformed query text is a clean error.
+  req.query.query = "..";
+  Response bad = server.Handle(req);
+  EXPECT_FALSE(bad.status.ok());
+}
+
+TEST_F(ServiceTest, StatsAndListWorkspacesVerbs) {
+  Server server;
+  ASSERT_OK(server.InstallWorkspace("a", MakeDbgWorkspace()));
+
+  // Generate some traffic with known counts.
+  Request q = MakeRequest(Verb::kQuery);
+  q.query.workspace = "a";
+  q.query.query = "project";
+  for (int i = 0; i < 5; ++i) ASSERT_OK(server.Handle(q).status);
+  q.query.workspace = "missing";
+  EXPECT_FALSE(server.Handle(q).status.ok());
+
+  Response list = server.Handle(MakeRequest(Verb::kListWorkspaces));
+  ASSERT_OK(list.status);
+  ASSERT_EQ(Field(list.result, "workspaces").AsArray().size(), 1u);
+  EXPECT_EQ(
+      Field(Field(list.result, "workspaces").AsArray()[0], "name").AsString(),
+      "a");
+
+  Response stats = server.Handle(MakeRequest(Verb::kStats));
+  ASSERT_OK(stats.status);
+  bool saw_query = false;
+  for (const Value& v : Field(stats.result, "verbs").AsArray()) {
+    if (Field(v, "verb").AsString() == "query") {
+      saw_query = true;
+      EXPECT_EQ(Field(v, "count").AsNumber(), 6);   // 5 ok + 1 error
+      EXPECT_EQ(Field(v, "errors").AsNumber(), 1);
+      EXPECT_EQ(Field(v, "timeouts").AsNumber(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_query);
+}
+
+TEST_F(ServiceTest, MalformedJsonReturnsStructuredError) {
+  Server server;
+  for (const char* line :
+       {"{nope", "[]", "42", "{\"verb\":\"frobnicate\"}", "{\"id\":3}",
+        "{\"verb\":\"query\",\"params\":{\"workspace\":\"w\"}}",
+        "{\"verb\":\"query\",\"params\":7}",
+        "{\"verb\":\"extract\",\"params\":{\"workspace\":\"w\",\"k\":-1}}"}) {
+    std::string out = server.HandleJsonLine(line);
+    // Each malformed request yields a parseable error envelope.
+    ASSERT_OK_AND_ASSIGN(Value v, json::Parse(out));
+    EXPECT_FALSE(Field(v, "ok").AsBool()) << line;
+    EXPECT_FALSE(Field(Field(v, "error"), "code").AsString().empty()) << line;
+  }
+  // A well-formed line still round-trips after all that garbage.
+  std::string out = server.HandleJsonLine("{\"id\":9,\"verb\":\"stats\"}");
+  ASSERT_OK_AND_ASSIGN(Value v, json::Parse(out));
+  EXPECT_TRUE(Field(v, "ok").AsBool());
+  EXPECT_EQ(Field(v, "id").AsNumber(), 9);
+}
+
+TEST_F(ServiceTest, QueueTimeoutPath) {
+  // One worker; the head request monopolizes it long enough that a
+  // queued request with a tiny budget expires before it is picked up.
+  ServerOptions opt;
+  opt.num_threads = 1;
+  Server server(opt);
+
+  gen::RandomGraphOptions gopt;
+  gopt.num_complex = 1500;
+  gopt.num_atomic = 1500;
+  gopt.num_edges = 6000;
+  catalog::Workspace ws;
+  ws.graph = gen::RandomGraph(gopt);
+  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ASSERT_OK(server.InstallWorkspace("rand", std::move(ws)));
+
+  Request slow = MakeRequest(Verb::kExtract, 1);
+  slow.extract.workspace = "rand";
+  slow.extract.k = 5;
+
+  std::atomic<bool> slow_done{false};
+  std::thread slow_client([&] {
+    Response r = server.Handle(slow);
+    slow_done = true;
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == util::StatusCode::kDeadlineExceeded)
+        << r.status;
+  });
+
+  // Give the worker a moment to pick up the slow request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Request fast = MakeRequest(Verb::kStats, 2);
+  fast.timeout_s = 0.001;
+  Response r = server.Handle(fast);
+  EXPECT_EQ(r.status.code(), util::StatusCode::kDeadlineExceeded) << r.status;
+  EXPECT_FALSE(slow_done.load());  // the worker really was busy
+
+  slow_client.join();
+
+  // The timeout shows up in the metrics.
+  bool saw = false;
+  for (const VerbStats& s : server.metrics().Snapshot()) {
+    if (s.verb == "stats") {
+      saw = true;
+      EXPECT_GE(s.timeouts, 1u);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(ServiceTest, ConcurrentQueriesVsReExtract) {
+  // The acceptance scenario: >= 4 client threads of queries interleaved
+  // with re-extracts against the same workspace. Every request must see
+  // a consistent snapshot (no torn workspace, no crash), and the per-verb
+  // counters must add up exactly.
+  Server server;
+  ASSERT_OK(server.InstallWorkspace("dbg", MakeDbgWorkspace()));
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 50;
+  constexpr int kExtracts = 4;
+
+  std::atomic<int> query_fail{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const char* queries[] = {"project.name", "author.name", "*.email",
+                               "member"};
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        Request req = MakeRequest(Verb::kQuery, t * 1000 + i);
+        req.query.workspace = "dbg";
+        req.query.query = queries[(t + i) % 4];
+        req.query.limit = 3;
+        Response resp = server.Handle(req);
+        if (!resp.status.ok()) ++query_fail;
+      }
+    });
+  }
+  clients.emplace_back([&] {
+    for (int i = 0; i < kExtracts; ++i) {
+      Request req = MakeRequest(Verb::kExtract, 9000 + i);
+      req.extract.workspace = "dbg";
+      req.extract.k = (i % 2 == 0) ? 6 : 9;  // alternate schema sizes
+      Response resp = server.Handle(req);
+      EXPECT_TRUE(resp.status.ok()) << resp.status;
+    }
+  });
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(query_fail.load(), 0);
+
+  // Counters are exact: no request lost, none double-counted.
+  uint64_t query_count = 0, extract_count = 0, errors = 0;
+  for (const VerbStats& s : server.metrics().Snapshot()) {
+    if (s.verb == "query") {
+      query_count = s.count;
+      errors += s.errors;
+    }
+    if (s.verb == "extract") {
+      extract_count = s.count;
+      errors += s.errors;
+    }
+  }
+  EXPECT_EQ(query_count,
+            static_cast<uint64_t>(kQueryThreads * kQueriesPerThread));
+  EXPECT_EQ(extract_count, static_cast<uint64_t>(kExtracts));
+  EXPECT_EQ(errors, 0u);
+
+  // The last installed schema has 6 or 9 types and still validates.
+  Response list = server.Handle(MakeRequest(Verb::kListWorkspaces));
+  ASSERT_OK(list.status);
+  double ntypes = Field(Field(list.result, "workspaces").AsArray()[0],
+                        "num_types")
+                      .AsNumber();
+  EXPECT_TRUE(ntypes == 6 || ntypes == 9) << ntypes;
+}
+
+TEST_F(ServiceTest, RequestJsonRoundTrip) {
+  // ParseRequestJson accepts what docs/service.md promises.
+  ASSERT_OK_AND_ASSIGN(
+      Request req,
+      ParseRequestJson(R"({"id": 7, "verb": "extract", "timeout_s": 2.5,
+        "params": {"workspace": "dbg", "k": 6, "decompose_roles": true,
+                   "stage1": "gfp", "epsilon": 1.5}})"));
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.verb, Verb::kExtract);
+  EXPECT_DOUBLE_EQ(req.timeout_s, 2.5);
+  EXPECT_EQ(req.extract.workspace, "dbg");
+  EXPECT_EQ(req.extract.k, 6u);
+  EXPECT_TRUE(req.extract.decompose_roles);
+  EXPECT_EQ(req.extract.stage1, "gfp");
+  EXPECT_DOUBLE_EQ(req.extract.epsilon, 1.5);
+
+  Response resp;
+  resp.id = 7;
+  resp.status = util::Status::NotFound("nope");
+  std::string line = SerializeResponse(resp);
+  ASSERT_OK_AND_ASSIGN(Value v, json::Parse(line));
+  EXPECT_EQ(Field(v, "id").AsNumber(), 7);
+  EXPECT_FALSE(Field(v, "ok").AsBool());
+  EXPECT_EQ(Field(Field(v, "error"), "code").AsString(), "NotFound");
+}
+
+}  // namespace
+}  // namespace schemex::service

@@ -1,0 +1,126 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace schemex::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(3);
+  auto f1 = pool.Submit([] { return 42; });
+  auto f2 = pool.Submit([] { return std::string("hello"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "hello");
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  // With one worker the queue is drained strictly in submission order,
+  // even when many producer threads contend on Submit.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, AllTasksRunUnderContention) {
+  // Many producers x several workers: every task runs exactly once.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto f = pool.Submit([&ran] { ++ran; });
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 400);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and usable.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // Head task blocks the single worker so the rest pile up queued.
+    std::promise<void> gate;
+    std::shared_future<void> gate_f = gate.get_future().share();
+    auto head = pool.Submit([gate_f] { gate_f.wait(); });
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.Submit([&ran] { ++ran; });
+    }
+    EXPECT_GE(pool.QueueDepth(), 19u);
+    gate.set_value();
+    pool.Shutdown();  // must run all 20 queued tasks before joining
+    head.get();
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW((void)pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutRunningTasksLost) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+    // Destructor == Shutdown: drain everything, join all workers.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace schemex::util

@@ -1,0 +1,187 @@
+// schemexd — the schema-extraction service daemon.
+//
+// Speaks newline-delimited JSON (one request per line, one response per
+// line; see docs/service.md for the protocol). Two modes:
+//
+//   schemexd --serve                 read requests from stdin until EOF
+//   schemexd --once '<json>'         execute a single request and exit
+//
+// Common flags:
+//   --threads N          worker threads (default 4)
+//   --timeout S          default per-request budget in seconds (default 60)
+//   --workspace NAME=DIR preload a SaveWorkspace directory into the cache
+//                        (repeatable)
+//   --gen-demo DIR       write the paper's DBG-like demo database to DIR
+//                        as a graph-only workspace and exit (a ready-made
+//                        target for load_workspace / --workspace)
+//
+// stdin/stdout keeps the daemon scriptable and testable without sockets:
+//   printf '%s\n' '{"verb":"list_workspaces"}' | schemexd --serve
+//
+// In --serve mode requests are dispatched concurrently; responses come
+// back in completion order, so clients must correlate by "id".
+
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/workspace.h"
+#include "gen/dbg.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "util/string_util.h"
+
+namespace {
+
+using schemex::service::Request;
+using schemex::service::Response;
+using schemex::service::Server;
+using schemex::service::ServerOptions;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--serve | --once '<json-request>')\n"
+               "          [--threads N] [--timeout S] [--workspace NAME=DIR]...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false;
+  std::string once_request;
+  ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--once") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      once_request = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      uint64_t n = 0;
+      if (v == nullptr || !schemex::util::ParseUint64(v, &n) || n == 0) {
+        return Usage(argv[0]);
+      }
+      options.num_threads = static_cast<size_t>(n);
+    } else if (arg == "--timeout") {
+      const char* v = next();
+      double s = 0;
+      if (v == nullptr || !schemex::util::ParseDouble(v, &s) || s < 0) {
+        return Usage(argv[0]);
+      }
+      options.default_timeout_s = s;
+    } else if (arg == "--gen-demo") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto g = schemex::gen::MakeDbgDataset();
+      if (!g.ok()) {
+        std::fprintf(stderr, "gen-demo: %s\n", g.status().ToString().c_str());
+        return 1;
+      }
+      schemex::catalog::Workspace ws;
+      ws.graph = *std::move(g);
+      ws.assignment =
+          schemex::typing::TypeAssignment(ws.graph.NumObjects());
+      auto st = schemex::catalog::SaveWorkspace(ws, v);
+      if (!st.ok()) {
+        std::fprintf(stderr, "gen-demo: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote demo workspace (%zu objects, %zu edges) to %s\n",
+                   ws.graph.NumObjects(), ws.graph.NumEdges(), v);
+      return 0;
+    } else if (arg == "--workspace") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--workspace wants NAME=DIR, got \"%s\"\n",
+                     spec.c_str());
+        return 2;
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (serve == !once_request.empty()) return Usage(argv[0]);
+
+  Server server(options);
+
+  for (const auto& [name, dir] : preloads) {
+    auto ws = schemex::catalog::LoadWorkspace(dir);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "preload %s=%s: %s\n", name.c_str(), dir.c_str(),
+                   ws.status().ToString().c_str());
+      return 1;
+    }
+    auto st = server.InstallWorkspace(name, *std::move(ws));
+    if (!st.ok()) {
+      std::fprintf(stderr, "preload %s: %s\n", name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded workspace %s from %s\n", name.c_str(),
+                 dir.c_str());
+  }
+
+  if (!once_request.empty()) {
+    std::string out = server.HandleJsonLine(once_request);
+    std::fputs(out.c_str(), stdout);
+    std::fputc('\n', stdout);
+    // Exit status mirrors the response's "ok" so shell scripts can branch
+    // without parsing JSON.
+    return out.find("\"ok\":true") != std::string::npos ? 0 : 1;
+  }
+
+  // --serve: stdin lines fan out onto the pool; each response is printed
+  // whole under a mutex as its worker finishes. in_flight gates shutdown
+  // so EOF waits for every outstanding response.
+  std::mutex io_mu;
+  std::condition_variable io_cv;
+  size_t in_flight = 0;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (schemex::util::Trim(line).empty()) continue;
+    auto req = schemex::service::ParseRequestJson(line);
+    if (!req.ok()) {
+      Response resp;
+      resp.status = req.status();
+      std::lock_guard<std::mutex> lock(io_mu);
+      std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(io_mu);
+      ++in_flight;
+    }
+    server.HandleAsync(*std::move(req), [&](Response resp) {
+      std::lock_guard<std::mutex> lock(io_mu);
+      std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      --in_flight;
+      io_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(io_mu);
+  io_cv.wait(lock, [&] { return in_flight == 0; });
+  return 0;
+}
