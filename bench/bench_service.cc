@@ -45,7 +45,7 @@ catalog::Workspace MakeWorkspace(uint64_t seed) {
     std::exit(1);
   }
   catalog::Workspace ws;
-  ws.graph = *std::move(g);
+  ws.SetGraph(*g);
   ws.program = r->final_program;
   ws.assignment = r->recast.assignment;
   return ws;

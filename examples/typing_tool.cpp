@@ -102,7 +102,7 @@ util::StatusOr<catalog::Workspace> ExtractWorkspace(graph::DataGraph g,
   SCHEMEX_ASSIGN_OR_RETURN(extract::ExtractionResult r,
                            extract::SchemaExtractor(opt).Run(g));
   catalog::Workspace ws;
-  ws.graph = std::move(g);
+  ws.SetGraph(g);
   ws.program = std::move(r.final_program);
   ws.assignment = std::move(r.recast.assignment);
   return ws;

@@ -8,7 +8,7 @@
 
 namespace schemex::baseline {
 
-util::StatusOr<DataGuide> BuildStrongDataGuide(const graph::DataGraph& g,
+util::StatusOr<DataGuide> BuildStrongDataGuide(graph::GraphView g,
                                                size_t max_nodes) {
   // Virtual root target set: sources (complex objects with no incoming
   // edges), or all complex objects if everything has incoming edges.
@@ -68,7 +68,7 @@ util::StatusOr<DataGuide> BuildStrongDataGuide(const graph::DataGraph& g,
 }
 
 std::vector<graph::ObjectId> DataGuide::Lookup(
-    const graph::DataGraph& g, const std::vector<std::string>& path) const {
+    graph::GraphView g, const std::vector<std::string>& path) const {
   if (nodes.empty()) return {};
   int cur = 0;
   for (const std::string& name : path) {

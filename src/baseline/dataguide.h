@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/statusor.h"
 
 namespace schemex::baseline {
@@ -37,14 +37,14 @@ struct DataGuide {
   /// Objects reachable by following `path` (labels by name) from the
   /// root; empty vector if the path leaves the guide.
   std::vector<graph::ObjectId> Lookup(
-      const graph::DataGraph& g,
+      graph::GraphView g,
       const std::vector<std::string>& path) const;
 };
 
 /// Builds the strong DataGuide of `g`. Worst case exponential (powerset),
 /// like the original; fails with FailedPrecondition if the node count
 /// exceeds `max_nodes`.
-util::StatusOr<DataGuide> BuildStrongDataGuide(const graph::DataGraph& g,
+util::StatusOr<DataGuide> BuildStrongDataGuide(graph::GraphView g,
                                                size_t max_nodes = 1 << 20);
 
 }  // namespace schemex::baseline

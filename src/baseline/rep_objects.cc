@@ -11,7 +11,7 @@ namespace {
 using typing::TypeId;
 
 /// One outgoing-only refinement round; returns the new block count.
-size_t RefineOnce(const graph::DataGraph& g, std::vector<TypeId>* block) {
+size_t RefineOnce(graph::GraphView g, std::vector<TypeId>* block) {
   using Sig = std::vector<std::pair<graph::LabelId, TypeId>>;
   std::map<std::pair<TypeId, Sig>, TypeId> next_id;
   std::vector<TypeId> next(block->size(), typing::kInvalidType);
@@ -36,7 +36,7 @@ size_t RefineOnce(const graph::DataGraph& g, std::vector<TypeId>* block) {
 
 }  // namespace
 
-std::vector<TypeId> DegreeKClasses(const graph::DataGraph& g, size_t k,
+std::vector<TypeId> DegreeKClasses(graph::GraphView g, size_t k,
                                    size_t* num_classes) {
   std::vector<TypeId> block(g.NumObjects(), typing::kInvalidType);
   size_t count = 0;
@@ -55,7 +55,7 @@ std::vector<TypeId> DegreeKClasses(const graph::DataGraph& g, size_t k,
   return block;
 }
 
-size_t FullRepObjectClassCount(const graph::DataGraph& g) {
+size_t FullRepObjectClassCount(graph::GraphView g) {
   std::vector<TypeId> block(g.NumObjects(), typing::kInvalidType);
   size_t count = 0;
   for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {

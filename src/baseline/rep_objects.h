@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/typed_link.h"
 
 namespace schemex::baseline {
@@ -19,12 +19,12 @@ namespace schemex::baseline {
 /// grows the partition converges to the outgoing-only simulation classes
 /// (a one-directional cousin of Stage 1's partition, which also refines
 /// on incoming edges).
-std::vector<typing::TypeId> DegreeKClasses(const graph::DataGraph& g,
+std::vector<typing::TypeId> DegreeKClasses(graph::GraphView g,
                                            size_t k, size_t* num_classes);
 
 /// Number of classes once the outgoing-only refinement converges (the
 /// "full representative object" granularity).
-size_t FullRepObjectClassCount(const graph::DataGraph& g);
+size_t FullRepObjectClassCount(graph::GraphView g);
 
 }  // namespace schemex::baseline
 

@@ -1,5 +1,6 @@
 #include "catalog/report.h"
 
+#include <string_view>
 #include <vector>
 
 #include "graph/graph_stats.h"
@@ -13,7 +14,7 @@ std::string RenderReport(const Workspace& ws, const ReportOptions& options) {
   std::string out = "# Schema extraction report\n\n";
 
   // --- Database. ---------------------------------------------------------
-  graph::GraphStats stats = graph::ComputeStats(ws.graph);
+  graph::GraphStats stats = graph::ComputeStats(*ws.graph);
   out += "## Database\n\n";
   out += util::StringPrintf(
       "- objects: %zu (%zu complex, %zu atomic)\n- links: %zu over %zu "
@@ -28,7 +29,7 @@ std::string RenderReport(const Workspace& ws, const ReportOptions& options) {
   }
 
   // --- Schema. ------------------------------------------------------------
-  out += "## Schema\n\n```\n" + ws.program.ToString(ws.graph.labels()) +
+  out += "## Schema\n\n```\n" + ws.program.ToString(ws.graph->labels()) +
          "```\n\n";
 
   // --- Types: population + examples. --------------------------------------
@@ -49,32 +50,32 @@ std::string RenderReport(const Workspace& ws, const ReportOptions& options) {
          o < ws.assignment.NumObjects() && shown < options.max_examples_per_type;
          ++o) {
       if (!ws.assignment.Has(o, static_cast<typing::TypeId>(t))) continue;
-      const std::string& name = ws.graph.Name(o);
+      std::string_view name = ws.graph->Name(o);
       out += shown == 0 ? " — e.g. " : ", ";
-      out += name.empty() ? util::StringPrintf("_o%u", o) : name;
+      out += name.empty() ? util::StringPrintf("_o%u", o) : std::string(name);
       ++shown;
     }
     out += "\n";
   }
   size_t untyped = 0;
   for (graph::ObjectId o = 0; o < ws.assignment.NumObjects(); ++o) {
-    if (ws.graph.IsComplex(o) && ws.assignment.TypesOf(o).empty()) ++untyped;
+    if (ws.graph->IsComplex(o) && ws.assignment.TypesOf(o).empty()) ++untyped;
   }
   out += util::StringPrintf("- *(untyped complex objects: %zu)*\n\n", untyped);
 
   // --- Defect. -------------------------------------------------------------
   typing::DefectReport defect =
-      typing::ComputeDefect(ws.program, ws.graph, ws.assignment);
+      typing::ComputeDefect(ws.program, *ws.graph, ws.assignment);
   out += "## Fit\n\n";
   out += util::StringPrintf(
       "- defect: **%zu** over %zu links (excess %zu, deficit %zu)\n\n",
-      defect.defect(), ws.graph.NumEdges(), defect.excess, defect.deficit);
+      defect.defect(), ws.graph->NumEdges(), defect.excess, defect.deficit);
 
   if (options.include_dot) {
     typing::DotOptions dopt;
     dopt.weights.assign(population.begin(), population.end());
     out += "## Schema graph (Graphviz)\n\n```dot\n" +
-           typing::ProgramToDot(ws.program, ws.graph.labels(), dopt) +
+           typing::ProgramToDot(ws.program, ws.graph->labels(), dopt) +
            "```\n";
   }
   return out;

@@ -98,15 +98,18 @@ util::StatusOr<typing::TypeAssignment> AssignmentFromTsv(
 }  // namespace
 
 util::Status Workspace::Validate() const {
+  if (graph == nullptr) {
+    return util::Status::FailedPrecondition("workspace has no graph");
+  }
   if (assignment.NumObjects() != 0 &&
-      assignment.NumObjects() != graph.NumObjects()) {
+      assignment.NumObjects() != graph->NumObjects()) {
     return util::Status::FailedPrecondition(
         "assignment sized for a different graph");
   }
   SCHEMEX_RETURN_IF_ERROR(program.Validate());
   for (const typing::TypeDef& t : program.types()) {
     for (const typing::TypedLink& l : t.signature.links()) {
-      if (l.label >= graph.labels().size()) {
+      if (l.label >= graph->labels().size()) {
         return util::Status::FailedPrecondition(
             "program references a label outside the graph's table");
       }
@@ -132,10 +135,10 @@ util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
                                   ec.message());
   }
   SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "graph.sxg",
-                                          graph::WriteGraph(ws.graph)));
+                                          graph::WriteGraph(*ws.graph)));
   SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(
       fs::path(dir) / "schema.dl",
-      typing::WriteTypingProgram(ws.program, ws.graph.labels())));
+      typing::WriteTypingProgram(ws.program, ws.graph->labels())));
   SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "assignment.tsv",
                                           AssignmentToTsv(ws.assignment)));
   return util::Status::OK();
@@ -145,21 +148,26 @@ util::StatusOr<Workspace> LoadWorkspace(const std::string& dir) {
   Workspace ws;
   SCHEMEX_ASSIGN_OR_RETURN(std::string graph_text,
                            ReadFile(fs::path(dir) / "graph.sxg"));
-  SCHEMEX_ASSIGN_OR_RETURN(ws.graph, graph::ReadGraph(graph_text));
+  // The mutable graph lives only for the duration of the load: the
+  // schema is parsed against its label table (interning any labels the
+  // graph itself never uses), and the result is frozen exactly once.
+  SCHEMEX_ASSIGN_OR_RETURN(graph::DataGraph loaded,
+                           graph::ReadGraph(graph_text));
 
   auto schema_text = ReadFile(fs::path(dir) / "schema.dl");
   if (schema_text.ok()) {
     SCHEMEX_ASSIGN_OR_RETURN(
         ws.program,
-        typing::ReadTypingProgram(*schema_text, &ws.graph.labels()));
+        typing::ReadTypingProgram(*schema_text, &loaded.labels()));
   }
   auto tsv = ReadFile(fs::path(dir) / "assignment.tsv");
   if (tsv.ok()) {
     SCHEMEX_ASSIGN_OR_RETURN(
-        ws.assignment, AssignmentFromTsv(*tsv, ws.graph.NumObjects()));
+        ws.assignment, AssignmentFromTsv(*tsv, loaded.NumObjects()));
   } else {
-    ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+    ws.assignment = typing::TypeAssignment(loaded.NumObjects());
   }
+  ws.graph = graph::Freeze(loaded);
   SCHEMEX_RETURN_IF_ERROR(ws.Validate());
   return ws;
 }

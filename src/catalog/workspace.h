@@ -1,9 +1,12 @@
 #ifndef SCHEMEX_CATALOG_WORKSPACE_H_
 #define SCHEMEX_CATALOG_WORKSPACE_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "graph/data_graph.h"
+#include "graph/frozen_graph.h"
 #include "typing/assignment.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -13,13 +16,23 @@ namespace schemex::catalog {
 /// A persisted extraction workspace: the database, the extracted schema,
 /// and the object-to-types assignment. Everything a downstream consumer
 /// (query layer, incremental typer, report generator) needs to resume.
+///
+/// The database is an immutable FrozenGraph held by shared_ptr: freezing
+/// happens once at load/import time, and every later generation of the
+/// workspace (re-extract, type-commit) shares the same snapshot instead
+/// of copying the graph, so swapping a workspace generation costs
+/// O(schema), not O(graph).
 struct Workspace {
-  graph::DataGraph graph;
+  std::shared_ptr<const graph::FrozenGraph> graph;
   typing::TypingProgram program;     ///< may be empty (no schema yet)
   typing::TypeAssignment assignment; ///< may be empty
 
-  /// Checks mutual consistency: assignment sized to the graph, type ids
-  /// within the program, program labels within the graph's table.
+  /// Freezes `g` and installs it as this workspace's database.
+  void SetGraph(const graph::DataGraph& g) { graph = graph::Freeze(g); }
+
+  /// Checks mutual consistency: graph present, assignment sized to the
+  /// graph, type ids within the program, program labels within the
+  /// graph's table.
   util::Status Validate() const;
 };
 
@@ -38,7 +51,8 @@ util::Status SaveWorkspace(const Workspace& ws, const std::string& dir);
 
 /// Loads a workspace saved by SaveWorkspace. Missing schema/assignment
 /// files load as empty (a graph-only workspace is valid); a missing
-/// graph file is an error.
+/// graph file is an error. The graph is frozen exactly once, after the
+/// schema is parsed against its label table.
 util::StatusOr<Workspace> LoadWorkspace(const std::string& dir);
 
 }  // namespace schemex::catalog

@@ -54,7 +54,7 @@ TypingProgram BuildProgram(const TypingProgram& stage1,
 }  // namespace
 
 util::StatusOr<ExactResult> ExactOptimalTyping(
-    const graph::DataGraph& g, const typing::PerfectTypingResult& stage1,
+    graph::GraphView g, const typing::PerfectTypingResult& stage1,
     const ExactOptions& options) {
   const size_t n = stage1.program.NumTypes();
   if (n == 0) return util::Status::InvalidArgument("no types to cluster");

@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/perfect_typing.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -36,7 +36,7 @@ struct ExactResult {
 };
 
 util::StatusOr<ExactResult> ExactOptimalTyping(
-    const graph::DataGraph& g, const typing::PerfectTypingResult& stage1,
+    graph::GraphView g, const typing::PerfectTypingResult& stage1,
     const ExactOptions& options);
 
 }  // namespace schemex::cluster

@@ -15,7 +15,7 @@ constexpr graph::ObjectId kUnbound = graph::kInvalidObject;
 /// variable index.
 class BodySolver {
  public:
-  BodySolver(const Rule& rule, const graph::DataGraph& g,
+  BodySolver(const Rule& rule, graph::GraphView g,
              const Interpretation& m)
       : rule_(rule),
         g_(g),
@@ -159,12 +159,12 @@ class BodySolver {
   bool CheckOrBindValue(Var value_var, graph::ObjectId atom_obj,
                         size_t remaining) {
     if (value_var == kAnonVar) return SolveRemaining(remaining);
-    const std::string& v = g_.Value(atom_obj);
+    std::string_view v = g_.Value(atom_obj);
     if (val_bound_[value_var]) {
       return val_binding_[value_var] == v && SolveRemaining(remaining);
     }
     val_bound_[value_var] = true;
-    val_binding_[value_var] = v;
+    val_binding_[value_var] = std::string(v);
     bool found = SolveRemaining(remaining);
     val_bound_[value_var] = false;
     return found;
@@ -203,7 +203,7 @@ class BodySolver {
   }
 
   const Rule& rule_;
-  const graph::DataGraph& g_;
+  graph::GraphView g_;
   const Interpretation& m_;
   std::vector<graph::ObjectId> obj_binding_;
   std::vector<std::string> val_binding_;
@@ -220,7 +220,7 @@ class BodySolver {
 /// body atoms. Immediate (chaotic) insertion is used — sound for
 /// monotone programs and converges at least as fast as strict rounds.
 Interpretation SemiNaiveLfp(const Program& program,
-                            const graph::DataGraph& g, EvalStats* stats) {
+                            graph::GraphView g, EvalStats* stats) {
   const size_t n = g.NumObjects();
   const size_t num_preds = program.num_preds();
   Interpretation m;
@@ -292,14 +292,14 @@ Interpretation SemiNaiveLfp(const Program& program,
 
 }  // namespace
 
-bool RuleSatisfied(const Rule& rule, const graph::DataGraph& g,
+bool RuleSatisfied(const Rule& rule, graph::GraphView g,
                    const Interpretation& m, graph::ObjectId o) {
   BodySolver solver(rule, g, m);
   return solver.Solve(o);
 }
 
 util::StatusOr<Interpretation> Evaluate(const Program& program,
-                                        const graph::DataGraph& g,
+                                        graph::GraphView g,
                                         const EvalOptions& options,
                                         EvalStats* stats) {
   SCHEMEX_RETURN_IF_ERROR(program.Validate());

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/bitset.h"
 #include "util/statusor.h"
 
@@ -62,14 +62,14 @@ struct EvalStats {
 /// Checks whether `rule`'s body is satisfiable with the head variable bound
 /// to `o`, under interpretation `m` (for IDB atoms) and database `g` (for
 /// EDB atoms). Pure existence test via backtracking join.
-bool RuleSatisfied(const Rule& rule, const graph::DataGraph& g,
+bool RuleSatisfied(const Rule& rule, graph::GraphView g,
                    const Interpretation& m, graph::ObjectId o);
 
 /// Computes the requested fixpoint of `program` on `g` by (ascending or
 /// descending) Kleene iteration of the immediate-consequence operator.
 /// Returns InvalidArgument if the program fails Validate().
 util::StatusOr<Interpretation> Evaluate(const Program& program,
-                                        const graph::DataGraph& g,
+                                        graph::GraphView g,
                                         const EvalOptions& options = {},
                                         EvalStats* stats = nullptr);
 

@@ -59,10 +59,15 @@ std::vector<std::vector<TypeId>> MapHomesThrough(
   return out;
 }
 
+/// Polls an optional cancellation hook; stages run only between OK polls.
+util::Status Poll(const std::function<util::Status()>& check_cancel) {
+  return check_cancel ? check_cancel() : util::Status::OK();
+}
+
 }  // namespace
 
 util::StatusOr<ExtractionResult> SchemaExtractor::Run(
-    const graph::DataGraph& g) const {
+    graph::GraphView g) const {
   ExtractionResult result;
 
   // Stage 1.
@@ -73,6 +78,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
                              typing::PerfectTypingViaRefinement(g));
   }
   result.num_perfect_types = result.perfect.program.NumTypes();
+  SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
 
   PreClusterState state = PrepareForClustering(
       options_, result.perfect, &result.roles, &result.roles_applied);
@@ -96,6 +102,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
     result.final_homes = state.homes;
   }
   result.num_final_types = result.final_program.NumTypes();
+  SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
 
   // Stage 3.
   SCHEMEX_ASSIGN_OR_RETURN(
@@ -109,7 +116,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
 }
 
 util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
-    const graph::DataGraph& g, const ExtractorOptions& options,
+    graph::GraphView g, const ExtractorOptions& options,
     size_t min_k) {
   // Stage 1 once.
   typing::PerfectTypingResult perfect;
@@ -118,6 +125,7 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
   } else {
     SCHEMEX_ASSIGN_OR_RETURN(perfect, typing::PerfectTypingViaRefinement(g));
   }
+  SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
   typing::RoleDecomposition roles;
   bool roles_applied = false;
   PreClusterState state =
@@ -137,6 +145,7 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
   std::vector<SensitivityPoint> points;
   points.reserve(clustering.snapshots.size());
   for (const cluster::Snapshot& snap : clustering.snapshots) {
+    SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
     std::vector<std::vector<TypeId>> homes =
         MapHomesThrough(state.homes, snap.stage1_to_snapshot);
     SCHEMEX_ASSIGN_OR_RETURN(

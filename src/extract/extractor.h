@@ -2,10 +2,11 @@
 #define SCHEMEX_EXTRACT_EXTRACTOR_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cluster/greedy.h"
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/defect.h"
 #include "typing/perfect_typing.h"
 #include "typing/recast.h"
@@ -38,6 +39,12 @@ struct ExtractorOptions {
   bool enable_empty_type = true;
 
   typing::RecastOptions recast;
+
+  /// Cooperative cancellation hook, polled at every stage boundary
+  /// (after Stage 1, after Stage 2, and between sweep snapshots). Return
+  /// a non-OK status — typically DeadlineExceeded — to abort the
+  /// pipeline; the status is propagated verbatim. Null = never cancel.
+  std::function<util::Status()> check_cancel;
 };
 
 /// Everything the pipeline produced, including intermediates for
@@ -78,7 +85,7 @@ class SchemaExtractor {
  public:
   explicit SchemaExtractor(ExtractorOptions options) : options_(options) {}
 
-  util::StatusOr<ExtractionResult> Run(const graph::DataGraph& g) const;
+  util::StatusOr<ExtractionResult> Run(graph::GraphView g) const;
 
   const ExtractorOptions& options() const { return options_; }
 
@@ -100,7 +107,7 @@ struct SensitivityPoint {
 /// at each k — the sliding-scale mechanism of §6 and the curves of
 /// Figure 6. `options.target_num_types` is ignored.
 util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
-    const graph::DataGraph& g, const ExtractorOptions& options,
+    graph::GraphView g, const ExtractorOptions& options,
     size_t min_k = 1);
 
 }  // namespace schemex::extract

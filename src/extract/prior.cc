@@ -8,7 +8,7 @@
 namespace schemex::extract {
 
 util::StatusOr<PriorExtractionResult> ExtractWithPrior(
-    const graph::DataGraph& g, const typing::TypingProgram& prior,
+    graph::GraphView g, const typing::TypingProgram& prior,
     const ExtractorOptions& options) {
   SCHEMEX_RETURN_IF_ERROR(prior.Validate());
   PriorExtractionResult result;

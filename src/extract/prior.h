@@ -2,7 +2,7 @@
 #define SCHEMEX_EXTRACT_PRIOR_H_
 
 #include "extract/extractor.h"
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
 
@@ -36,7 +36,7 @@ struct PriorExtractionResult {
 /// pictures (the prior's objects act as an opaque boundary), which keeps
 /// the prior authoritative but can cost some fit — measured by `defect`.
 util::StatusOr<PriorExtractionResult> ExtractWithPrior(
-    const graph::DataGraph& g, const typing::TypingProgram& prior,
+    graph::GraphView g, const typing::TypingProgram& prior,
     const ExtractorOptions& options);
 
 }  // namespace schemex::extract

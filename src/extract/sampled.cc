@@ -9,7 +9,7 @@
 namespace schemex::extract {
 
 util::StatusOr<SampledExtractionResult> ExtractFromSample(
-    const graph::DataGraph& g, const SampleOptions& options) {
+    graph::GraphView g, const SampleOptions& options) {
   if (options.sample_complex_objects == 0) {
     return util::Status::InvalidArgument("sample size must be > 0");
   }

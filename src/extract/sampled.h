@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "extract/extractor.h"
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/statusor.h"
 
 namespace schemex::extract {
@@ -39,7 +39,7 @@ struct SampledExtractionResult {
 /// Runs the sampled pipeline. The sample keeps every edge between two
 /// sampled complex objects plus every sampled-object -> atomic edge.
 util::StatusOr<SampledExtractionResult> ExtractFromSample(
-    const graph::DataGraph& g, const SampleOptions& options);
+    graph::GraphView g, const SampleOptions& options);
 
 }  // namespace schemex::extract
 

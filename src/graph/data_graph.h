@@ -114,6 +114,11 @@ class DataGraph {
   /// (the paper's "bipartite" special case, §5.2).
   bool IsBipartite() const;
 
+  /// Approximate heap bytes held by this graph (adjacency vectors,
+  /// per-object strings, label table). Comparable to
+  /// FrozenGraph::MemoryUsage().
+  size_t MemoryUsage() const;
+
  private:
   enum class Kind : uint8_t { kComplex, kAtomic };
 

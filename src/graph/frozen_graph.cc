@@ -1,0 +1,161 @@
+#include "graph/frozen_graph.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/string_util.h"
+
+namespace schemex::graph {
+
+namespace {
+
+uint64_t NextGraphId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+FrozenGraph::FrozenGraph(const DataGraph& g) : id_(NextGraphId()) {
+  const size_t n = g.NumObjects();
+  num_objects_ = n;
+  num_complex_ = g.NumComplexObjects();
+  num_edges_ = g.NumEdges();
+  atomic_.Resize(n);
+
+  // Interner copy: ids stay aligned with the source graph's edges, so a
+  // typing program parsed against the DataGraph applies to the snapshot
+  // unchanged.
+  for (size_t l = 0; l < g.labels().size(); ++l) {
+    labels_.Intern(g.labels().Name(static_cast<LabelId>(l)));
+  }
+
+  out_off_.resize(n + 1);
+  in_off_.resize(n + 1);
+  out_edges_.reserve(num_edges_);
+  in_edges_.reserve(num_edges_);
+  text_off_.resize(2 * n + 1);
+
+  size_t arena_bytes = 0;
+  for (ObjectId o = 0; o < n; ++o) {
+    arena_bytes += g.Value(o).size() + g.Name(o).size();
+  }
+  arena_.reserve(arena_bytes);
+
+  for (ObjectId o = 0; o < n; ++o) {
+    if (g.IsAtomic(o)) atomic_.Set(o);
+    out_off_[o] = out_edges_.size();
+    in_off_[o] = in_edges_.size();
+    auto out = g.OutEdges(o);
+    auto in = g.InEdges(o);
+    out_edges_.insert(out_edges_.end(), out.begin(), out.end());
+    in_edges_.insert(in_edges_.end(), in.begin(), in.end());
+    text_off_[2 * static_cast<size_t>(o)] = arena_.size();
+    arena_ += g.Value(o);
+    text_off_[2 * static_cast<size_t>(o) + 1] = arena_.size();
+    arena_ += g.Name(o);
+  }
+  out_off_[n] = out_edges_.size();
+  in_off_[n] = in_edges_.size();
+  text_off_[2 * n] = arena_.size();
+}
+
+bool FrozenGraph::HasEdge(ObjectId from, ObjectId to, LabelId label) const {
+  if (from >= num_objects_ || to >= num_objects_) return false;
+  auto row = OutEdges(from);
+  return std::binary_search(row.begin(), row.end(), HalfEdge{label, to});
+}
+
+bool FrozenGraph::HasEdgeToAtomic(ObjectId o, LabelId label) const {
+  auto row = OutEdges(o);
+  auto it = std::lower_bound(row.begin(), row.end(),
+                             HalfEdge{label, static_cast<ObjectId>(0)});
+  for (; it != row.end() && it->label == label; ++it) {
+    if (IsAtomic(it->other)) return true;
+  }
+  return false;
+}
+
+bool FrozenGraph::IsBipartite() const {
+  for (const HalfEdge& e : out_edges_) {
+    if (!IsAtomic(e.other)) return false;
+  }
+  return true;
+}
+
+util::Status FrozenGraph::Validate() const {
+  const size_t n = num_objects_;
+  if (out_off_.size() != n + 1 || in_off_.size() != n + 1 ||
+      text_off_.size() != 2 * n + 1) {
+    return util::Status::Internal("offset array size mismatch");
+  }
+  if (out_off_[n] != out_edges_.size() || in_off_[n] != in_edges_.size() ||
+      text_off_[2 * n] != arena_.size()) {
+    return util::Status::Internal("offset terminator out of sync");
+  }
+  if (out_edges_.size() != num_edges_) {
+    return util::Status::Internal("edge count out of sync");
+  }
+  for (size_t i = 0; i < out_off_.size() - 1; ++i) {
+    if (out_off_[i] > out_off_[i + 1] || in_off_[i] > in_off_[i + 1]) {
+      return util::Status::Internal("CSR offsets not monotone");
+    }
+  }
+  for (size_t i = 0; i < text_off_.size() - 1; ++i) {
+    if (text_off_[i] > text_off_[i + 1]) {
+      return util::Status::Internal("arena offsets not monotone");
+    }
+  }
+  auto contains = [](std::span<const HalfEdge> row, HalfEdge e) {
+    return std::binary_search(row.begin(), row.end(), e);
+  };
+  for (ObjectId o = 0; o < n; ++o) {
+    auto out = OutEdges(o);
+    auto in = InEdges(o);
+    if (IsAtomic(o) && !out.empty()) {
+      return util::Status::Internal(
+          util::StringPrintf("atomic object %u has outgoing edges", o));
+    }
+    if (!std::is_sorted(out.begin(), out.end()) ||
+        !std::is_sorted(in.begin(), in.end())) {
+      return util::Status::Internal(
+          util::StringPrintf("adjacency of object %u not sorted", o));
+    }
+    for (const HalfEdge& e : out) {
+      if (e.other >= n || e.label >= labels_.size()) {
+        return util::Status::Internal("dangling edge endpoint or label");
+      }
+      if (!contains(InEdges(e.other), HalfEdge{e.label, o})) {
+        return util::Status::Internal(util::StringPrintf(
+            "edge (%u,%u) missing from incoming index", o, e.other));
+      }
+    }
+    for (const HalfEdge& e : in) {
+      if (e.other >= n || !contains(OutEdges(e.other), HalfEdge{e.label, o})) {
+        return util::Status::Internal(util::StringPrintf(
+            "incoming edge of %u has no outgoing counterpart", o));
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+size_t FrozenGraph::MemoryUsage() const {
+  size_t labels_bytes = 0;
+  for (size_t l = 0; l < labels_.size(); ++l) {
+    labels_bytes += labels_.Name(static_cast<LabelId>(l)).capacity() +
+                    sizeof(std::string);
+  }
+  return out_off_.capacity() * sizeof(uint64_t) +
+         in_off_.capacity() * sizeof(uint64_t) +
+         out_edges_.capacity() * sizeof(HalfEdge) +
+         in_edges_.capacity() * sizeof(HalfEdge) +
+         text_off_.capacity() * sizeof(uint64_t) + arena_.capacity() +
+         (atomic_.size() + 63) / 64 * sizeof(uint64_t) + labels_bytes;
+}
+
+std::shared_ptr<const FrozenGraph> Freeze(const DataGraph& g) {
+  return std::make_shared<const FrozenGraph>(g);
+}
+
+}  // namespace schemex::graph

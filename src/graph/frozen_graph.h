@@ -1,0 +1,133 @@
+#ifndef SCHEMEX_GRAPH_FROZEN_GRAPH_H_
+#define SCHEMEX_GRAPH_FROZEN_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/label.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace schemex::graph {
+
+/// An immutable, cache-friendly snapshot of a DataGraph.
+///
+/// Layout: both adjacency directions are CSR (one offset array plus one
+/// flat HalfEdge array each), so an algorithm that scans objects in id
+/// order walks a single contiguous edge array instead of chasing one
+/// heap allocation per object. Values and display names live in a single
+/// character arena addressed by a shared offset table, so a frozen graph
+/// performs no per-object string allocations and Value()/Name() return
+/// views into the arena.
+///
+/// FrozenGraph is deliberately non-copyable: snapshots are shared via
+/// shared_ptr<const FrozenGraph> (see Freeze()), and every instance
+/// carries a process-unique id() so sharing is observable — two
+/// workspace generations holding the same graph report the same id.
+///
+/// The read API mirrors DataGraph's, with string_view in place of
+/// const string&; GraphView (graph/graph_view.h) abstracts over both.
+class FrozenGraph {
+ public:
+  FrozenGraph() = default;
+
+  /// Builds the snapshot. O(objects + edges + value bytes).
+  explicit FrozenGraph(const DataGraph& g);
+
+  // Immutable snapshots are shared, not copied.
+  FrozenGraph(const FrozenGraph&) = delete;
+  FrozenGraph& operator=(const FrozenGraph&) = delete;
+  FrozenGraph(FrozenGraph&&) = default;
+  FrozenGraph& operator=(FrozenGraph&&) = default;
+
+  size_t NumObjects() const { return num_objects_; }
+  size_t NumComplexObjects() const { return num_complex_; }
+  size_t NumAtomicObjects() const { return num_objects_ - num_complex_; }
+  size_t NumEdges() const { return num_edges_; }
+
+  bool IsAtomic(ObjectId o) const { return atomic_.Test(o); }
+  bool IsComplex(ObjectId o) const { return !atomic_.Test(o); }
+
+  /// Value of an atomic object (empty for complex objects); a view into
+  /// the arena, valid as long as the FrozenGraph lives.
+  std::string_view Value(ObjectId o) const {
+    return ArenaSlice(2 * static_cast<size_t>(o));
+  }
+
+  /// Display name given at creation (may be empty); arena-backed view.
+  std::string_view Name(ObjectId o) const {
+    return ArenaSlice(2 * static_cast<size_t>(o) + 1);
+  }
+
+  /// Outgoing half-edges of `o`, sorted by (label, other). A slice of the
+  /// flat CSR edge array.
+  std::span<const HalfEdge> OutEdges(ObjectId o) const {
+    return {out_edges_.data() + out_off_[o], out_off_[o + 1] - out_off_[o]};
+  }
+
+  /// Incoming half-edges of `o`, sorted by (label, other).
+  std::span<const HalfEdge> InEdges(ObjectId o) const {
+    return {in_edges_.data() + in_off_[o], in_off_[o + 1] - in_off_[o]};
+  }
+
+  const LabelInterner& labels() const { return labels_; }
+
+  /// True iff the exact edge exists (binary search in the CSR row).
+  bool HasEdge(ObjectId from, ObjectId to, LabelId label) const;
+
+  /// True iff `o` has some outgoing `label` edge to an atomic object.
+  bool HasEdgeToAtomic(ObjectId o, LabelId label) const;
+
+  /// True iff every edge goes from a complex object to an atomic object.
+  bool IsBipartite() const;
+
+  /// Checks the representation invariants: offset monotonicity, adjacency
+  /// symmetry between the two CSR halves, sortedness, atomic-sink rule.
+  util::Status Validate() const;
+
+  /// Heap bytes held by this snapshot (CSR arrays + arena + label table).
+  size_t MemoryUsage() const;
+
+  /// Process-unique identity token, assigned at construction and never
+  /// reused. Exposed by the service so tests (and operators) can verify
+  /// that workspace generations share one graph instead of copying it.
+  uint64_t id() const { return id_; }
+
+ private:
+  std::string_view ArenaSlice(size_t slot) const {
+    return std::string_view(arena_.data() + text_off_[slot],
+                            text_off_[slot + 1] - text_off_[slot]);
+  }
+
+  LabelInterner labels_;
+  size_t num_objects_ = 0;
+  size_t num_complex_ = 0;
+  size_t num_edges_ = 0;
+  util::DenseBitset atomic_;
+
+  // CSR adjacency: out_off_/in_off_ have NumObjects()+1 entries; the
+  // edges of object o occupy [off[o], off[o+1]) of the flat array.
+  std::vector<uint64_t> out_off_;
+  std::vector<uint64_t> in_off_;
+  std::vector<HalfEdge> out_edges_;
+  std::vector<HalfEdge> in_edges_;
+
+  // String arena: slot 2*o is o's value, slot 2*o+1 its name;
+  // text_off_ has 2*NumObjects()+1 entries.
+  std::vector<uint64_t> text_off_;
+  std::string arena_;
+
+  uint64_t id_ = 0;
+};
+
+/// Freezes `g` into a shareable immutable snapshot.
+std::shared_ptr<const FrozenGraph> Freeze(const DataGraph& g);
+
+}  // namespace schemex::graph
+
+#endif  // SCHEMEX_GRAPH_FROZEN_GRAPH_H_

@@ -11,7 +11,7 @@ namespace schemex::graph {
 
 namespace {
 
-std::string EscapeValue(const std::string& v) {
+std::string EscapeValue(std::string_view v) {
   std::string out = "\"";
   for (char c : v) {
     switch (c) {
@@ -58,15 +58,15 @@ size_t ParseQuoted(std::string_view s, size_t pos, std::string* out) {
   return std::string_view::npos;
 }
 
-std::string DisplayName(const DataGraph& g, ObjectId o) {
-  const std::string& n = g.Name(o);
-  if (!n.empty()) return n;
+std::string DisplayName(GraphView g, ObjectId o) {
+  std::string_view n = g.Name(o);
+  if (!n.empty()) return std::string(n);
   return util::StringPrintf("_o%u", o);
 }
 
 }  // namespace
 
-std::string WriteGraph(const DataGraph& g) {
+std::string WriteGraph(GraphView g) {
   std::string out;
   out += util::StringPrintf("# schemex graph: %zu objects, %zu edges\n",
                             g.NumObjects(), g.NumEdges());

@@ -5,11 +5,12 @@
 #include <string_view>
 
 #include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/statusor.h"
 
 namespace schemex::graph {
 
-/// Line-oriented text serialization of a DataGraph. Format:
+/// Line-oriented text serialization of a graph. Format:
 ///
 ///   # comment / blank lines ignored
 ///   atomic <name> "<value>"       # value uses C-style \" \\ \n escapes
@@ -19,7 +20,7 @@ namespace schemex::graph {
 /// Names are whitespace-free tokens. Objects must be declared before edges
 /// reference them (WriteGraph emits them in that order). Unnamed objects
 /// are written with synthesized names "_o<id>".
-std::string WriteGraph(const DataGraph& g);
+std::string WriteGraph(GraphView g);
 
 /// Parses the text format produced by WriteGraph. Returns ParseError with a
 /// line number on malformed input.

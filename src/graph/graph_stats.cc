@@ -6,7 +6,7 @@
 
 namespace schemex::graph {
 
-GraphStats ComputeStats(const DataGraph& g) {
+GraphStats ComputeStats(GraphView g) {
   GraphStats s;
   s.num_objects = g.NumObjects();
   s.num_complex = g.NumComplexObjects();
@@ -30,7 +30,7 @@ GraphStats ComputeStats(const DataGraph& g) {
   return s;
 }
 
-std::string GraphStats::ToString(const DataGraph& g) const {
+std::string GraphStats::ToString(GraphView g) const {
   std::string out = util::StringPrintf(
       "objects=%zu (complex=%zu, atomic=%zu) edges=%zu labels=%zu "
       "bipartite=%s roots=%zu max_out=%zu max_in=%zu avg_out=%.2f\n",

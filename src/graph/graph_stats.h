@@ -5,12 +5,12 @@
 #include <string>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 
 namespace schemex::graph {
 
-/// Summary statistics of a DataGraph, used by examples, benches, and the
-/// data generators' self-checks.
+/// Summary statistics of a graph (either representation), used by
+/// examples, benches, and the data generators' self-checks.
 struct GraphStats {
   size_t num_objects = 0;
   size_t num_complex = 0;
@@ -30,11 +30,11 @@ struct GraphStats {
   size_t num_roots = 0;
 
   /// Multi-line human-readable rendering.
-  std::string ToString(const DataGraph& g) const;
+  std::string ToString(GraphView g) const;
 };
 
 /// Computes statistics in one pass over `g`.
-GraphStats ComputeStats(const DataGraph& g);
+GraphStats ComputeStats(GraphView g);
 
 }  // namespace schemex::graph
 

@@ -2,7 +2,7 @@
 
 namespace schemex::graph {
 
-DataGraph InducedSubgraph(const DataGraph& g,
+DataGraph InducedSubgraph(GraphView g,
                           const std::vector<ObjectId>& keep,
                           const SubgraphOptions& options,
                           std::vector<ObjectId>* old_to_new) {

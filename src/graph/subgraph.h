@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 
 namespace schemex::graph {
 
@@ -20,7 +20,7 @@ struct SubgraphOptions {
 ///
 /// `old_to_new` (optional) receives a g-sized map to subgraph ids
 /// (kInvalidObject for dropped objects).
-DataGraph InducedSubgraph(const DataGraph& g,
+DataGraph InducedSubgraph(GraphView g,
                           const std::vector<ObjectId>& keep,
                           const SubgraphOptions& options = {},
                           std::vector<ObjectId>* old_to_new = nullptr);

@@ -118,7 +118,7 @@ namespace {
 
 /// Frontier expansion for one step; kAnyStar computes a reachability
 /// closure.
-util::DenseBitset Advance(const graph::DataGraph& g,
+util::DenseBitset Advance(graph::GraphView g,
                           const util::DenseBitset& frontier,
                           const PathStep& step, QueryStats* stats) {
   util::DenseBitset next(g.NumObjects());
@@ -170,7 +170,7 @@ util::DenseBitset Advance(const graph::DataGraph& g,
 }  // namespace
 
 std::vector<graph::ObjectId> EvaluatePathQuery(
-    const graph::DataGraph& g, const PathQuery& q,
+    graph::GraphView g, const PathQuery& q,
     const std::vector<graph::ObjectId>& starts, QueryStats* stats) {
   QueryStats local;
   util::DenseBitset frontier(g.NumObjects());

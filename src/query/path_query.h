@@ -6,7 +6,7 @@
 #include <string_view>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/statusor.h"
 
 namespace schemex::query {
@@ -60,7 +60,7 @@ struct QueryStats {
 /// Evaluates `q` starting from `starts` (all complex objects when empty),
 /// returning the sorted set of reachable end objects.
 std::vector<graph::ObjectId> EvaluatePathQuery(
-    const graph::DataGraph& g, const PathQuery& q,
+    graph::GraphView g, const PathQuery& q,
     const std::vector<graph::ObjectId>& starts = {},
     QueryStats* stats = nullptr);
 

@@ -36,7 +36,7 @@ SchemaGuide::SchemaGuide(const typing::TypingProgram& program,
   }
 }
 
-std::vector<TypeId> SchemaGuide::StartTypes(const graph::DataGraph& g,
+std::vector<TypeId> SchemaGuide::StartTypes(graph::GraphView g,
                                             const PathQuery& q) const {
   const size_t n = program_.NumTypes();
   // Backward DP: can[i] = nodes from which steps[i..] match.
@@ -91,7 +91,7 @@ std::vector<TypeId> SchemaGuide::StartTypes(const graph::DataGraph& g,
 }
 
 std::vector<graph::ObjectId> SchemaGuide::StartCandidates(
-    const graph::DataGraph& g, const PathQuery& q) const {
+    graph::GraphView g, const PathQuery& q) const {
   std::vector<TypeId> start_types = StartTypes(g, q);
   std::vector<bool> wanted(program_.NumTypes(), false);
   for (TypeId t : start_types) wanted[static_cast<size_t>(t)] = true;
@@ -107,7 +107,7 @@ std::vector<graph::ObjectId> SchemaGuide::StartCandidates(
   return out;
 }
 
-std::vector<graph::ObjectId> SchemaGuide::Evaluate(const graph::DataGraph& g,
+std::vector<graph::ObjectId> SchemaGuide::Evaluate(graph::GraphView g,
                                                    const PathQuery& q,
                                                    QueryStats* stats) const {
   std::vector<graph::ObjectId> starts = StartCandidates(g, q);

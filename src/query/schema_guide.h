@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "query/path_query.h"
 #include "typing/assignment.h"
 #include "typing/typing_program.h"
@@ -32,15 +32,15 @@ class SchemaGuide {
               const typing::TypeAssignment& assignment);
 
   /// Types from which the whole query can be matched in the schema graph.
-  std::vector<typing::TypeId> StartTypes(const graph::DataGraph& g,
+  std::vector<typing::TypeId> StartTypes(graph::GraphView g,
                                          const PathQuery& q) const;
 
   /// Objects assigned to some start type (the pruned start set).
-  std::vector<graph::ObjectId> StartCandidates(const graph::DataGraph& g,
+  std::vector<graph::ObjectId> StartCandidates(graph::GraphView g,
                                                const PathQuery& q) const;
 
   /// EvaluatePathQuery from the pruned start set.
-  std::vector<graph::ObjectId> Evaluate(const graph::DataGraph& g,
+  std::vector<graph::ObjectId> Evaluate(graph::GraphView g,
                                         const PathQuery& q,
                                         QueryStats* stats = nullptr) const;
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <future>
+#include <set>
+#include <string_view>
 #include <utility>
 
 #include "extract/extractor.h"
@@ -27,13 +29,35 @@ double SecondsSince(std::chrono::steady_clock::time_point t0,
 Value WorkspaceSummary(const std::string& name, const catalog::Workspace& ws) {
   std::map<std::string, Value> f;
   f["name"] = Value::String(name);
-  f["objects"] = JsonUint(ws.graph.NumObjects());
-  f["complex_objects"] = JsonUint(ws.graph.NumComplexObjects());
-  f["atomic_objects"] = JsonUint(ws.graph.NumAtomicObjects());
-  f["edges"] = JsonUint(ws.graph.NumEdges());
+  f["objects"] = JsonUint(ws.graph->NumObjects());
+  f["complex_objects"] = JsonUint(ws.graph->NumComplexObjects());
+  f["atomic_objects"] = JsonUint(ws.graph->NumAtomicObjects());
+  f["edges"] = JsonUint(ws.graph->NumEdges());
   f["num_types"] = JsonUint(ws.program.NumTypes());
   f["typed_objects"] = JsonUint(ws.assignment.NumTypedObjects());
+  // Identity + footprint of the frozen snapshot. Two generations of the
+  // same workspace report the same graph_id when (and only when) they
+  // share the same FrozenGraph instance.
+  f["graph_id"] = JsonUint(ws.graph->id());
+  f["graph_bytes"] = JsonUint(ws.graph->MemoryUsage());
   return Value::Object(std::move(f));
+}
+
+/// Turns an absolute deadline into a cooperative-cancellation hook for
+/// the extract pipeline; kMax disables polling entirely.
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+std::function<util::Status()> DeadlineHook(
+    std::chrono::steady_clock::time_point deadline) {
+  if (deadline == kNoDeadline) return nullptr;
+  return [deadline]() -> util::Status {
+    auto now = std::chrono::steady_clock::now();
+    if (now < deadline) return util::Status::OK();
+    return util::Status::DeadlineExceeded(util::StringPrintf(
+        "extract pipeline exceeded its budget (%.3fs past the deadline at "
+        "a stage boundary)",
+        std::chrono::duration<double>(now - deadline).count()));
+  };
 }
 
 }  // namespace
@@ -60,7 +84,12 @@ void Server::HandleAsync(Request req, std::function<void(Response)> done) {
       resp.status = util::Status::DeadlineExceeded(util::StringPrintf(
           "request spent %.3fs queued, budget %.3fs", queued_s, timeout_s));
     } else {
-      auto result = Dispatch(req);
+      const Clock::time_point deadline =
+          timeout_s > 0
+              ? arrival + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(timeout_s))
+              : Clock::time_point::max();
+      auto result = Dispatch(req, deadline);
       if (result.ok()) {
         resp.result = *std::move(result);
       } else {
@@ -98,7 +127,12 @@ Response Server::Handle(const Request& req) {
       resp.status = util::Status::DeadlineExceeded(util::StringPrintf(
           "request spent %.3fs queued, budget %.3fs", queued_s, timeout_s));
     } else {
-      auto result = Dispatch(req);
+      const Clock::time_point deadline =
+          timeout_s > 0
+              ? arrival + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(timeout_s))
+              : Clock::time_point::max();
+      auto result = Dispatch(req, deadline);
       if (result.ok()) {
         resp.result = *std::move(result);
       } else {
@@ -183,12 +217,13 @@ void Server::PutWorkspace(const std::string& name, catalog::Workspace ws) {
   cache_[name] = std::move(snapshot);
 }
 
-util::StatusOr<json::Value> Server::Dispatch(const Request& req) {
+util::StatusOr<json::Value> Server::Dispatch(const Request& req,
+                                             Clock::time_point deadline) {
   switch (req.verb) {
     case Verb::kLoadWorkspace:
       return HandleLoadWorkspace(req.load);
     case Verb::kExtract:
-      return HandleExtract(req.extract);
+      return HandleExtract(req.extract, deadline);
     case Verb::kType:
       return HandleType(req.type);
     case Verb::kQuery:
@@ -213,15 +248,17 @@ util::StatusOr<json::Value> Server::HandleLoadWorkspace(
   return summary;
 }
 
-util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p) {
+util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
+                                                  Clock::time_point deadline) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::DataGraph& g = snapshot->graph;
+  const graph::FrozenGraph& g = *snapshot->graph;
 
   extract::ExtractorOptions opt;
   opt.stage1 = p.stage1 == "gfp"
                    ? extract::ExtractorOptions::Stage1Algorithm::kGfp
                    : extract::ExtractorOptions::Stage1Algorithm::kRefinement;
   opt.decompose_roles = p.decompose_roles;
+  opt.check_cancel = DeadlineHook(deadline);
 
   // k == 0 = automatic: sweep the k axis and take the §8 knee within the
   // epsilon tolerance.
@@ -242,7 +279,9 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p) {
                            extract::SchemaExtractor(opt).Run(g));
 
   catalog::Workspace next;
-  next.graph = g;  // copy; the snapshot stays live for concurrent readers
+  // Share the frozen snapshot: the new generation differs only in its
+  // schema/assignment, so the swap is O(schema), not O(graph).
+  next.graph = snapshot->graph;
   next.program = result.final_program;
   next.assignment = result.recast.assignment;
   SCHEMEX_RETURN_IF_ERROR(next.Validate());
@@ -279,7 +318,7 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p) {
 
 util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::DataGraph& g = snapshot->graph;
+  const graph::FrozenGraph& g = *snapshot->graph;
 
   // Parse against a copy of the graph's interner: existing labels keep
   // their ids; labels unknown to the graph get fresh out-of-table ids and
@@ -329,7 +368,7 @@ util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
 
   if (p.commit) {
     catalog::Workspace next;
-    next.graph = g;
+    next.graph = snapshot->graph;  // shared; commit swaps only the schema
     next.program = std::move(program);
     next.assignment = typing::ExtentsToAssignment(extents);
     // An inline program may reference labels outside the graph's table;
@@ -342,7 +381,7 @@ util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
 
 util::StatusOr<json::Value> Server::HandleQuery(const QueryParams& p) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::DataGraph& g = snapshot->graph;
+  const graph::FrozenGraph& g = *snapshot->graph;
 
   SCHEMEX_ASSIGN_OR_RETURN(query::PathQuery q,
                            query::ParsePathQuery(p.query));
@@ -364,12 +403,12 @@ util::StatusOr<json::Value> Server::HandleQuery(const QueryParams& p) {
   objects.reserve(std::min(results.size(), limit));
   for (size_t i = 0; i < results.size() && i < limit; ++i) {
     graph::ObjectId o = results[i];
-    const std::string& name = g.Name(o);
+    std::string_view name = g.Name(o);
     std::map<std::string, Value> of;
     of["id"] = JsonUint(o);
     of["name"] = Value::String(
-        name.empty() ? util::StringPrintf("_o%u", o) : name);
-    if (g.IsAtomic(o)) of["value"] = Value::String(g.Value(o));
+        name.empty() ? util::StringPrintf("_o%u", o) : std::string(name));
+    if (g.IsAtomic(o)) of["value"] = Value::String(std::string(g.Value(o)));
     objects.push_back(Value::Object(std::move(of)));
   }
 
@@ -392,9 +431,23 @@ util::StatusOr<json::Value> Server::HandleStats() {
   for (const VerbStats& s : metrics_.Snapshot()) {
     verbs.push_back(s.ToJson());
   }
+  // Frozen graphs are shared across workspace generations (and possibly
+  // across workspaces), so account each distinct instance once.
+  size_t graph_bytes = 0;
+  std::set<uint64_t> seen_graphs;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    for (const auto& [name, ws] : cache_) {
+      if (ws->graph && seen_graphs.insert(ws->graph->id()).second) {
+        graph_bytes += ws->graph->MemoryUsage();
+      }
+    }
+  }
   std::map<std::string, Value> f;
   f["verbs"] = Value::Array(std::move(verbs));
   f["workspaces"] = JsonUint(WorkspaceNames().size());
+  f["distinct_graphs"] = JsonUint(seen_graphs.size());
+  f["graph_bytes"] = JsonUint(graph_bytes);
   f["threads"] = JsonUint(pool_->num_threads());
   f["queue_depth"] = JsonUint(pool_->QueueDepth());
   return Value::Object(std::move(f));

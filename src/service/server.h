@@ -36,10 +36,11 @@ struct ServerOptions {
 /// either the old one or the new one, never a mix.
 ///
 /// Requests are routed onto a fixed ThreadPool. Timeouts are enforced at
-/// two points: a request that out-waits its budget in the queue fails
-/// without executing, and the synchronous Handle() stops waiting once the
-/// budget elapses (the worker then discards its late result; handlers are
-/// not preempted mid-flight).
+/// three points: a request that out-waits its budget in the queue fails
+/// without executing, the extract pipeline polls its deadline between
+/// stage boundaries and aborts with kDeadlineExceeded, and the
+/// synchronous Handle() stops waiting once the budget elapses (the worker
+/// then discards its late result).
 class Server {
  public:
   explicit Server(const ServerOptions& options = {});
@@ -80,11 +81,15 @@ class Server {
   /// Resolves the effective budget for a request (0 = unlimited).
   double EffectiveTimeout(const Request& req) const;
 
-  /// Runs the verb handler (on a pool worker).
-  util::StatusOr<json::Value> Dispatch(const Request& req);
+  /// Runs the verb handler (on a pool worker). `deadline` is the absolute
+  /// point at which the request's budget expires (`Clock::time_point::max()`
+  /// = unlimited); long-running handlers poll it cooperatively.
+  util::StatusOr<json::Value> Dispatch(const Request& req,
+                                       Clock::time_point deadline);
 
   util::StatusOr<json::Value> HandleLoadWorkspace(const LoadWorkspaceParams& p);
-  util::StatusOr<json::Value> HandleExtract(const ExtractParams& p);
+  util::StatusOr<json::Value> HandleExtract(const ExtractParams& p,
+                                            Clock::time_point deadline);
   util::StatusOr<json::Value> HandleType(const TypeParams& p);
   util::StatusOr<json::Value> HandleQuery(const QueryParams& p);
   util::StatusOr<json::Value> HandleStats();

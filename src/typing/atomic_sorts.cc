@@ -48,7 +48,7 @@ bool LooksLikeEmail(std::string_view v) {
 /// Copies `g`, rewriting each complex->atomic edge label through `relabel`
 /// (which may return the original name to keep it).
 graph::DataGraph RelabelAtomicEdges(
-    const graph::DataGraph& g,
+    graph::GraphView g,
     const std::function<std::string(graph::LabelId, graph::ObjectId atom)>&
         relabel) {
   graph::DataGraph out;
@@ -111,14 +111,14 @@ std::string DefaultSortClassifier(std::string_view value) {
   return std::string(AtomicSortName(ClassifyValue(value)));
 }
 
-graph::DataGraph RefineAtomicSorts(const graph::DataGraph& g,
+graph::DataGraph RefineAtomicSorts(graph::GraphView g,
                                    const SortClassifier& classifier) {
   return RelabelAtomicEdges(g, [&](graph::LabelId l, graph::ObjectId atom) {
     return g.labels().Name(l) + "@" + classifier(g.Value(atom));
   });
 }
 
-util::StatusOr<graph::DataGraph> RefineByValueEnum(const graph::DataGraph& g,
+util::StatusOr<graph::DataGraph> RefineByValueEnum(graph::GraphView g,
                                                    std::string_view label_name,
                                                    size_t max_distinct) {
   graph::LabelId target = g.labels().Find(label_name);
@@ -132,7 +132,7 @@ util::StatusOr<graph::DataGraph> RefineByValueEnum(const graph::DataGraph& g,
   for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
     for (const graph::HalfEdge& e : g.OutEdges(o)) {
       if (e.label == target && g.IsAtomic(e.other)) {
-        values.insert(g.Value(e.other));
+        values.insert(std::string(g.Value(e.other)));
       }
     }
   }
@@ -144,7 +144,7 @@ util::StatusOr<graph::DataGraph> RefineByValueEnum(const graph::DataGraph& g,
   }
   return RelabelAtomicEdges(g, [&](graph::LabelId l, graph::ObjectId atom) {
     if (l != target) return g.labels().Name(l);
-    return g.labels().Name(l) + "=" + g.Value(atom);
+    return g.labels().Name(l) + "=" + std::string(g.Value(atom));
   });
 }
 

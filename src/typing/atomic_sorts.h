@@ -5,7 +5,7 @@
 #include <string>
 #include <string_view>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "util/statusor.h"
 
 namespace schemex::typing {
@@ -52,7 +52,7 @@ std::string DefaultSortClassifier(std::string_view value);
 /// Returns a copy of `g` with every complex->atomic edge relabeled
 /// "label@sort". Complex->complex edges and all objects are unchanged.
 graph::DataGraph RefineAtomicSorts(
-    const graph::DataGraph& g,
+    graph::GraphView g,
     const SortClassifier& classifier = DefaultSortClassifier);
 
 /// The §2 "specific atomic values" extension (classifying by
@@ -62,7 +62,7 @@ graph::DataGraph RefineAtomicSorts(
 /// Returns NotFound if the label does not occur, FailedPrecondition if
 /// the value diversity exceeds `max_distinct` (refining would shred the
 /// schema).
-util::StatusOr<graph::DataGraph> RefineByValueEnum(const graph::DataGraph& g,
+util::StatusOr<graph::DataGraph> RefineByValueEnum(graph::GraphView g,
                                                    std::string_view label_name,
                                                    size_t max_distinct = 8);
 

@@ -23,7 +23,7 @@ std::vector<graph::ObjectId> CanonicalMembers(const TypingProgram& program,
   return member;
 }
 
-graph::ObjectId SmallestAtomic(const graph::DataGraph& g) {
+graph::ObjectId SmallestAtomic(graph::GraphView g) {
   for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
     if (g.IsAtomic(o)) return o;
   }
@@ -37,7 +37,7 @@ std::string DefectReport::ToString() const {
                             excess, deficit);
 }
 
-size_t ComputeExcess(const TypingProgram& program, const graph::DataGraph& g,
+size_t ComputeExcess(const TypingProgram& program, graph::GraphView g,
                      const TypeAssignment& tau, bool collect_facts,
                      DefectReport* report) {
   size_t excess = 0;
@@ -80,7 +80,7 @@ size_t ComputeExcess(const TypingProgram& program, const graph::DataGraph& g,
   return excess;
 }
 
-size_t ComputeDeficit(const TypingProgram& program, const graph::DataGraph& g,
+size_t ComputeDeficit(const TypingProgram& program, graph::GraphView g,
                       const TypeAssignment& tau, bool collect_facts,
                       DefectReport* report) {
   std::vector<graph::ObjectId> member = CanonicalMembers(program, tau);
@@ -132,7 +132,7 @@ size_t ComputeDeficit(const TypingProgram& program, const graph::DataGraph& g,
 }
 
 DefectReport ComputeDefect(const TypingProgram& program,
-                           const graph::DataGraph& g,
+                           graph::GraphView g,
                            const TypeAssignment& tau, bool collect_facts) {
   DefectReport report;
   ComputeExcess(program, g, tau, collect_facts, &report);

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/assignment.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
@@ -45,7 +45,7 @@ struct DefectReport {
 /// (o -l-> o') is *used* iff some c with o in tau(c) has ->l^{c'} for some
 /// c' with o' in tau(c') (or ->l^0 when o' is atomic), or some such c' has
 /// <-l^{c}. Everything else is excess.
-size_t ComputeExcess(const TypingProgram& program, const graph::DataGraph& g,
+size_t ComputeExcess(const TypingProgram& program, graph::GraphView g,
                      const TypeAssignment& tau, bool collect_facts,
                      DefectReport* report);
 
@@ -56,13 +56,13 @@ size_t ComputeExcess(const TypingProgram& program, const graph::DataGraph& g,
 /// are counted once — a greedy upper bound on the true minimum, which is
 /// itself NP-hard to compute exactly (the paper likewise only bounds it,
 /// §5.2 end).
-size_t ComputeDeficit(const TypingProgram& program, const graph::DataGraph& g,
+size_t ComputeDeficit(const TypingProgram& program, graph::GraphView g,
                       const TypeAssignment& tau, bool collect_facts,
                       DefectReport* report);
 
 /// Excess + deficit in one report.
 DefectReport ComputeDefect(const TypingProgram& program,
-                           const graph::DataGraph& g,
+                           graph::GraphView g,
                            const TypeAssignment& tau,
                            bool collect_facts = false);
 

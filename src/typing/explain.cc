@@ -5,7 +5,7 @@
 namespace schemex::typing {
 
 util::StatusOr<MembershipExplanation> ExplainMembership(
-    const TypingProgram& program, const graph::DataGraph& g,
+    const TypingProgram& program, graph::GraphView g,
     const Extents& m, graph::ObjectId o, TypeId t) {
   if (t < 0 || static_cast<size_t>(t) >= program.NumTypes()) {
     return util::Status::InvalidArgument("type id out of range");
@@ -45,10 +45,10 @@ util::StatusOr<MembershipExplanation> ExplainMembership(
 }
 
 std::string MembershipExplanation::ToString(
-    const graph::DataGraph& g, const TypingProgram& program) const {
+    graph::GraphView g, const TypingProgram& program) const {
   auto obj_name = [&](graph::ObjectId o) {
-    const std::string& n = g.Name(o);
-    return n.empty() ? util::StringPrintf("_o%u", o) : n;
+    std::string_view n = g.Name(o);
+    return n.empty() ? util::StringPrintf("_o%u", o) : std::string(n);
   };
   std::string out = util::StringPrintf(
       "%s : %s because ", obj_name(object).c_str(),

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -28,7 +28,7 @@ struct MembershipExplanation {
   std::vector<LinkWitness> witnesses;  ///< one per typed link, in body order
 
   /// "o4 : type2 because <-a^1 via o1, ->b^0 via o5".
-  std::string ToString(const graph::DataGraph& g,
+  std::string ToString(graph::GraphView g,
                        const TypingProgram& program) const;
 };
 
@@ -36,7 +36,7 @@ struct MembershipExplanation {
 /// output). Fails with FailedPrecondition if o does not satisfy t under
 /// m — there is nothing to explain.
 util::StatusOr<MembershipExplanation> ExplainMembership(
-    const TypingProgram& program, const graph::DataGraph& g,
+    const TypingProgram& program, graph::GraphView g,
     const Extents& m, graph::ObjectId o, TypeId t);
 
 }  // namespace schemex::typing

@@ -24,7 +24,7 @@ struct DependencyKey {
 
 }  // namespace
 
-bool SatisfiesSignature(const TypeSignature& sig, const graph::DataGraph& g,
+bool SatisfiesSignature(const TypeSignature& sig, graph::GraphView g,
                         const Extents& m, graph::ObjectId o) {
   for (const TypedLink& l : sig.links()) {
     bool ok = false;
@@ -52,7 +52,7 @@ bool SatisfiesSignature(const TypeSignature& sig, const graph::DataGraph& g,
 }
 
 util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
-                                   const graph::DataGraph& g,
+                                   graph::GraphView g,
                                    GfpStats* stats) {
   SCHEMEX_RETURN_IF_ERROR(program.Validate());
   const size_t n = g.NumObjects();

@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/typing_program.h"
 #include "util/bitset.h"
 #include "util/statusor.h"
@@ -45,12 +45,12 @@ struct GfpStats {
 /// program.ToDatalog() (asserted by tests), but typically orders of
 /// magnitude faster on perfect-typing candidate programs.
 util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
-                                   const graph::DataGraph& g,
+                                   graph::GraphView g,
                                    GfpStats* stats = nullptr);
 
 /// True iff object `o` satisfies every typed link of `sig` under extents
 /// `m` (atomic targets checked against g's atomic objects).
-bool SatisfiesSignature(const TypeSignature& sig, const graph::DataGraph& g,
+bool SatisfiesSignature(const TypeSignature& sig, graph::GraphView g,
                         const Extents& m, graph::ObjectId o);
 
 }  // namespace schemex::typing

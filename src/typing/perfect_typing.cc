@@ -13,7 +13,7 @@ namespace {
 /// Builds the local picture of complex object `o` where complex neighbors
 /// are mapped through `class_of` (candidate ids in the GFP method, block
 /// ids in refinement) and atomic neighbors become kAtomicType targets.
-TypeSignature LocalPicture(const graph::DataGraph& g, graph::ObjectId o,
+TypeSignature LocalPicture(graph::GraphView g, graph::ObjectId o,
                            const std::vector<TypeId>& class_of) {
   std::vector<TypedLink> links;
   for (const graph::HalfEdge& e : g.OutEdges(o)) {
@@ -29,7 +29,7 @@ TypeSignature LocalPicture(const graph::DataGraph& g, graph::ObjectId o,
   return TypeSignature::FromLinks(std::move(links));
 }
 
-PerfectTypingResult AssembleResult(const graph::DataGraph& g,
+PerfectTypingResult AssembleResult(graph::GraphView g,
                                    const std::vector<TypeId>& class_of,
                                    size_t num_classes,
                                    const char* name_prefix) {
@@ -69,7 +69,7 @@ size_t PerfectTypingResult::NumComplexObjects() const {
 }
 
 util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
-    const graph::DataGraph& g) {
+    graph::GraphView g) {
   const size_t n = g.NumObjects();
 
   // Candidate ids: dense over complex objects; candidates double as type
@@ -134,7 +134,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
 }
 
 util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
-    const graph::DataGraph& g) {
+    graph::GraphView g) {
   const size_t n = g.NumObjects();
   std::vector<TypeId> block(n, kInvalidType);
   std::vector<graph::ObjectId> complex_objects;
@@ -169,7 +169,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
 }
 
 util::StatusOr<Extents> PerfectTypingExtents(const PerfectTypingResult& r,
-                                             const graph::DataGraph& g) {
+                                             graph::GraphView g) {
   return ComputeGfp(r.program, g);
 }
 

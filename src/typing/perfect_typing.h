@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -37,7 +37,7 @@ struct PerfectTypingResult {
 /// Exact but O(N^2)-ish; intended for small/medium databases and as the
 /// reference the refinement algorithm is tested against.
 util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
-    const graph::DataGraph& g);
+    graph::GraphView g);
 
 /// Scalable Stage 1 via partition refinement (the bisimulation-style
 /// computation of §4.1 "Computational Efficiency"): start with one block
@@ -48,14 +48,14 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
 /// computes on databases where extent-equality coincides with local-
 /// picture-equality (verified against the GFP method in tests).
 util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
-    const graph::DataGraph& g);
+    graph::GraphView g);
 
 /// Convenience: extents of the result program under GFP semantics. Because
 /// typing rules have no negation, extents may overlap and strictly contain
 /// the home sets (§4.2): an object with *more* links than its home type
 /// requires also satisfies the richer types' generalizations.
 util::StatusOr<Extents> PerfectTypingExtents(const PerfectTypingResult& r,
-                                             const graph::DataGraph& g);
+                                             graph::GraphView g);
 
 }  // namespace schemex::typing
 

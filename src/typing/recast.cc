@@ -2,7 +2,7 @@
 
 namespace schemex::typing {
 
-TypeSignature ObjectPicture(const graph::DataGraph& g,
+TypeSignature ObjectPicture(graph::GraphView g,
                             const TypeAssignment& tau, graph::ObjectId o) {
   std::vector<TypedLink> links;
   for (const graph::HalfEdge& e : g.OutEdges(o)) {
@@ -22,7 +22,7 @@ TypeSignature ObjectPicture(const graph::DataGraph& g,
   return TypeSignature::FromLinks(std::move(links));
 }
 
-TypeId NearestType(const TypingProgram& program, const graph::DataGraph& g,
+TypeId NearestType(const TypingProgram& program, graph::GraphView g,
                    const TypeAssignment& tau, graph::ObjectId o,
                    size_t* out_distance) {
   TypeSignature picture = ObjectPicture(g, tau, o);
@@ -41,7 +41,7 @@ TypeId NearestType(const TypingProgram& program, const graph::DataGraph& g,
 }
 
 util::StatusOr<RecastResult> Recast(
-    const TypingProgram& program, const graph::DataGraph& g,
+    const TypingProgram& program, graph::GraphView g,
     const std::vector<std::vector<TypeId>>& homes,
     const RecastOptions& options) {
   RecastResult result;

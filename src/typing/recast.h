@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/assignment.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
@@ -44,14 +44,14 @@ struct RecastResult {
 /// type by clustering), gains all types it satisfies exactly (GFP), and,
 /// failing everything, the nearest type by d.
 util::StatusOr<RecastResult> Recast(
-    const TypingProgram& program, const graph::DataGraph& g,
+    const TypingProgram& program, graph::GraphView g,
     const std::vector<std::vector<TypeId>>& homes,
     const RecastOptions& options = {});
 
 /// The local picture of `o` expressed over `tau`: one ->l^0 per edge to an
 /// atomic object, one ->l^t / <-l^t per edge to/from a complex neighbor
 /// and each type t the neighbor is assigned to.
-TypeSignature ObjectPicture(const graph::DataGraph& g,
+TypeSignature ObjectPicture(graph::GraphView g,
                             const TypeAssignment& tau, graph::ObjectId o);
 
 /// Nearest type to `o` by d(picture(o), signature) — the paper's rule for
@@ -59,7 +59,7 @@ TypeSignature ObjectPicture(const graph::DataGraph& g,
 /// arriving after extraction). Ties break toward the lowest type id.
 /// Returns kInvalidType for an empty program; `*out_distance` (optional)
 /// receives the winning distance.
-TypeId NearestType(const TypingProgram& program, const graph::DataGraph& g,
+TypeId NearestType(const TypingProgram& program, graph::GraphView g,
                    const TypeAssignment& tau, graph::ObjectId o,
                    size_t* out_distance = nullptr);
 

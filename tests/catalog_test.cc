@@ -38,7 +38,7 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(r.ok());
 
   Workspace ws;
-  ws.graph = *g;
+  ws.SetGraph(*g);
   ws.program = r->final_program;
   ws.assignment = r->recast.assignment;
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
@@ -47,8 +47,8 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
   EXPECT_TRUE(fs::exists(dir_ / "assignment.tsv"));
 
   ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
-  EXPECT_EQ(back.graph.NumObjects(), g->NumObjects());
-  EXPECT_EQ(back.graph.NumEdges(), g->NumEdges());
+  EXPECT_EQ(back.graph->NumObjects(), g->NumObjects());
+  EXPECT_EQ(back.graph->NumEdges(), g->NumEdges());
   EXPECT_EQ(back.program.NumTypes(), 6u);
   // Assignment content survives object-by-object.
   for (graph::ObjectId o = 0; o < g->NumObjects(); ++o) {
@@ -60,7 +60,7 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
   ASSERT_OK_AND_ASSIGN(typing::Extents m1,
                        typing::ComputeGfp(r->final_program, *g));
   ASSERT_OK_AND_ASSIGN(typing::Extents m2,
-                       typing::ComputeGfp(back.program, back.graph));
+                       typing::ComputeGfp(back.program, *back.graph));
   for (size_t t = 0; t < m1.per_type.size(); ++t) {
     EXPECT_EQ(m1.per_type[t].Count(), m2.per_type[t].Count());
   }
@@ -68,15 +68,15 @@ TEST_F(CatalogTest, SaveLoadRoundTrip) {
 
 TEST_F(CatalogTest, GraphOnlyWorkspace) {
   Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
   // Remove the optional files: loading must still succeed.
   fs::remove(dir_ / "schema.dl");
   fs::remove(dir_ / "assignment.tsv");
   ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
   EXPECT_EQ(back.program.NumTypes(), 0u);
-  EXPECT_EQ(back.assignment.NumObjects(), ws.graph.NumObjects());
+  EXPECT_EQ(back.assignment.NumObjects(), ws.graph->NumObjects());
 }
 
 TEST_F(CatalogTest, MissingGraphIsAnError) {
@@ -87,23 +87,26 @@ TEST_F(CatalogTest, MissingGraphIsAnError) {
 
 TEST_F(CatalogTest, ValidationCatchesInconsistency) {
   Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ws.assignment.Assign(0, 5);  // no such type
   EXPECT_EQ(ws.Validate().code(), util::StatusCode::kFailedPrecondition);
   EXPECT_FALSE(SaveWorkspace(ws, dir_.string()).ok());
 
   Workspace ws2;
-  ws2.graph = test::MakeFigure2Database();
+  ws2.SetGraph(test::MakeFigure2Database());
   ws2.assignment = typing::TypeAssignment(3);  // wrong size
   EXPECT_FALSE(ws2.Validate().ok());
+
+  Workspace ws3;  // no graph at all
+  EXPECT_EQ(ws3.Validate().code(), util::StatusCode::kFailedPrecondition);
 }
 
 TEST_F(CatalogTest, CorruptAssignmentRejected) {
   Workspace ws;
-  ws.graph = test::MakeFigure2Database();
+  ws.SetGraph(test::MakeFigure2Database());
   ws.program.AddType("t", {});
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ws.assignment.Assign(0, 0);
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
   // Scribble over the assignment.
@@ -121,13 +124,15 @@ TEST_F(CatalogTest, CorruptAssignmentRejected) {
 
 TEST_F(CatalogTest, CorruptAssignmentVariants) {
   Workspace ws;
-  ws.graph = test::MakeFigure2Database();
   // A real signature: an empty one would not survive the schema.dl
-  // round-trip (datalog rules need at least one body atom).
-  graph::LabelId name = ws.graph.InternLabel("name");
+  // round-trip (datalog rules need at least one body atom). The label is
+  // interned before freezing — the frozen table is immutable.
+  graph::DataGraph g = test::MakeFigure2Database();
+  graph::LabelId name = g.InternLabel("name");
+  ws.SetGraph(g);
   ws.program.AddType(
       "t", typing::TypeSignature::FromLinks({typing::TypedLink::OutAtomic(name)}));
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ws.assignment.Assign(0, 0);
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
 
@@ -157,23 +162,23 @@ TEST_F(CatalogTest, GraphOnlyDirectoryLoadsEmptySchema) {
   // the service has not extracted yet — loads with an empty program and
   // an all-untyped assignment sized to the graph.
   Workspace ws;
-  ws.graph = test::MakeFigure5Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure5Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
   fs::remove(dir_ / "schema.dl");
   fs::remove(dir_ / "assignment.tsv");
 
   ASSERT_OK_AND_ASSIGN(Workspace back, LoadWorkspace(dir_.string()));
   EXPECT_EQ(back.program.NumTypes(), 0u);
-  EXPECT_EQ(back.assignment.NumObjects(), ws.graph.NumObjects());
+  EXPECT_EQ(back.assignment.NumObjects(), ws.graph->NumObjects());
   EXPECT_EQ(back.assignment.NumTypedObjects(), 0u);
   EXPECT_OK(back.Validate());
 }
 
 TEST_F(CatalogTest, SaveLeavesNoTempFiles) {
   Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(SaveWorkspace(ws, dir_.string()));
   for (const auto& entry : fs::directory_iterator(dir_)) {
     EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
@@ -187,14 +192,14 @@ TEST_F(CatalogTest, ConcurrentSaveAndLoadNeverTears) {
   // self-consistent workspace or fails with a clean cross-generation
   // Validate/parse error — never a half-written graph.
   Workspace small;
-  small.graph = test::MakeFigure2Database();
-  small.assignment = typing::TypeAssignment(small.graph.NumObjects());
+  small.SetGraph(test::MakeFigure2Database());
+  small.assignment = typing::TypeAssignment(small.graph->NumObjects());
 
   auto big_graph = gen::MakeDbgDataset(5);
   ASSERT_TRUE(big_graph.ok());
   Workspace big;
-  big.graph = *big_graph;
-  big.assignment = typing::TypeAssignment(big.graph.NumObjects());
+  big.SetGraph(*big_graph);
+  big.assignment = typing::TypeAssignment(big.graph->NumObjects());
 
   ASSERT_OK(SaveWorkspace(small, dir_.string()));
 
@@ -204,11 +209,11 @@ TEST_F(CatalogTest, ConcurrentSaveAndLoadNeverTears) {
     while (!stop.load()) {
       auto ws = LoadWorkspace(dir_.string());
       if (!ws.ok()) continue;  // cross-generation pairing: clean error
-      size_t n = ws->graph.NumObjects();
-      if (n != small.graph.NumObjects() && n != big.graph.NumObjects()) {
+      size_t n = ws->graph->NumObjects();
+      if (n != small.graph->NumObjects() && n != big.graph->NumObjects()) {
         ++torn;  // a size matching neither generation = torn file
       }
-      if (!ws->graph.Validate().ok()) ++torn;
+      if (!ws->graph->Validate().ok()) ++torn;
     }
   });
   for (int i = 0; i < 30; ++i) {

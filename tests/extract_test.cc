@@ -139,5 +139,52 @@ TEST(SensitivityTest, MinKRespected) {
   EXPECT_EQ(pts.back().k, 2u);
 }
 
+TEST(CancellationTest, CheckCancelAbortsBetweenStages) {
+  // A counting hook makes cancellation deterministic: the first poll
+  // (the Stage-1/2 boundary) succeeds, the second (Stage-2/3) cancels,
+  // so the pipeline runs clustering but never recasts.
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  opt.target_num_types = 6;
+
+  int polls = 0;
+  opt.check_cancel = [&polls]() -> util::Status {
+    return ++polls >= 2 ? util::Status::DeadlineExceeded("budget spent")
+                        : util::Status::OK();
+  };
+  auto r = SchemaExtractor(opt).Run(g);
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(polls, 2);
+
+  // Cancelling at the very first boundary stops even earlier.
+  polls = 0;
+  opt.check_cancel = [&polls]() -> util::Status {
+    ++polls;
+    return util::Status::DeadlineExceeded("budget spent");
+  };
+  r = SchemaExtractor(opt).Run(g);
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(polls, 1);
+
+  // A hook that never fires leaves the result untouched.
+  opt.check_cancel = []() { return util::Status::OK(); };
+  ASSERT_OK_AND_ASSIGN(ExtractionResult ok_result, SchemaExtractor(opt).Run(g));
+  EXPECT_EQ(ok_result.num_final_types, 6u);
+}
+
+TEST(CancellationTest, SweepPollsBetweenSnapshots) {
+  ASSERT_OK_AND_ASSIGN(graph::DataGraph g, gen::MakeDbgDataset());
+  ExtractorOptions opt;
+  // Allow stage 1 plus a few snapshot recasts, then cancel: the sweep
+  // must stop early instead of walking every k.
+  int budget = 4;
+  opt.check_cancel = [&budget]() -> util::Status {
+    return --budget < 0 ? util::Status::DeadlineExceeded("budget spent")
+                        : util::Status::OK();
+  };
+  auto pts = SensitivitySweep(g, opt);
+  EXPECT_EQ(pts.status().code(), util::StatusCode::kDeadlineExceeded);
+}
+
 }  // namespace
 }  // namespace schemex::extract

@@ -130,7 +130,7 @@ TEST(IntegrationTest, JsonReportEndToEnd) {
   ASSERT_OK_AND_ASSIGN(extract::ExtractionResult r,
                        extract::SchemaExtractor(opt).Run(g));
   catalog::Workspace ws;
-  ws.graph = g;
+  ws.SetGraph(g);
   ws.program = r.final_program;
   ws.assignment = r.recast.assignment;
   ASSERT_OK(ws.Validate());

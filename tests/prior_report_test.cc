@@ -80,7 +80,7 @@ TEST(ReportTest, RendersAllSections) {
   auto r = extract::SchemaExtractor(opt).Run(*g);
   ASSERT_TRUE(r.ok());
   catalog::Workspace ws;
-  ws.graph = *g;
+  ws.SetGraph(*g);
   ws.program = r->final_program;
   ws.assignment = r->recast.assignment;
 
@@ -101,8 +101,8 @@ TEST(ReportTest, RendersAllSections) {
 
 TEST(ReportTest, GraphOnlyWorkspace) {
   catalog::Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   std::string report = catalog::RenderReport(ws);
   EXPECT_NE(report.find("(no schema extracted yet)"), std::string::npos);
 }

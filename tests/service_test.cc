@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,7 +41,7 @@ catalog::Workspace MakeDbgWorkspace(uint64_t seed = 3) {
   auto r = extract::SchemaExtractor(opt).Run(*g);
   EXPECT_TRUE(r.ok());
   catalog::Workspace ws;
-  ws.graph = *std::move(g);
+  ws.SetGraph(*g);
   ws.program = r->final_program;
   ws.assignment = r->recast.assignment;
   return ws;
@@ -76,7 +77,7 @@ TEST_F(ServiceTest, LoadWorkspaceVerb) {
   req.load.dir = dir_.string();
   Response resp = server.Handle(req);
   ASSERT_OK(resp.status);
-  EXPECT_EQ(Field(resp.result, "objects").AsNumber(), ws.graph.NumObjects());
+  EXPECT_EQ(Field(resp.result, "objects").AsNumber(), ws.graph->NumObjects());
   EXPECT_EQ(Field(resp.result, "num_types").AsNumber(), 6);
   EXPECT_EQ(server.WorkspaceNames(), std::vector<std::string>{"dbg"});
 
@@ -90,7 +91,7 @@ TEST_F(ServiceTest, ExtractVerbReplacesSchema) {
   Server server;
   catalog::Workspace ws;
   ws.graph = MakeDbgWorkspace().graph;
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(server.InstallWorkspace("dbg", std::move(ws)));
 
   Request req = MakeRequest(Verb::kExtract);
@@ -133,8 +134,8 @@ TEST_F(ServiceTest, ExtractAutoKPicksKnee) {
 TEST_F(ServiceTest, TypeVerbWithInlineProgram) {
   Server server;
   catalog::Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(server.InstallWorkspace("fig2", std::move(ws)));
 
   Request req = MakeRequest(Verb::kType);
@@ -168,8 +169,8 @@ TEST_F(ServiceTest, TypeVerbWithInlineProgram) {
 TEST_F(ServiceTest, TypeVerbWithoutSchemaFails) {
   Server server;
   catalog::Workspace ws;
-  ws.graph = test::MakeFigure2Database();
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(test::MakeFigure2Database());
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(server.InstallWorkspace("fig2", std::move(ws)));
   Request req = MakeRequest(Verb::kType);
   req.type.workspace = "fig2";
@@ -271,8 +272,8 @@ TEST_F(ServiceTest, QueueTimeoutPath) {
   gopt.num_atomic = 1500;
   gopt.num_edges = 6000;
   catalog::Workspace ws;
-  ws.graph = gen::RandomGraph(gopt);
-  ws.assignment = typing::TypeAssignment(ws.graph.NumObjects());
+  ws.SetGraph(gen::RandomGraph(gopt));
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
   ASSERT_OK(server.InstallWorkspace("rand", std::move(ws)));
 
   Request slow = MakeRequest(Verb::kExtract, 1);
@@ -308,6 +309,104 @@ TEST_F(ServiceTest, QueueTimeoutPath) {
     }
   }
   EXPECT_TRUE(saw);
+}
+
+TEST_F(ServiceTest, ExtractDeadlineCutsPipelineMidFlight) {
+  // A budget far smaller than the extraction cost: the worker picks the
+  // request up immediately (free threads, so the queue check passes) and
+  // the pipeline's own stage-boundary polling has to abort it.
+  Server server;
+  gen::RandomGraphOptions gopt;
+  gopt.num_complex = 2000;
+  gopt.num_atomic = 2000;
+  gopt.num_edges = 9000;
+  catalog::Workspace ws;
+  ws.SetGraph(gen::RandomGraph(gopt));
+  ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
+  ASSERT_OK(server.InstallWorkspace("rand", std::move(ws)));
+
+  Request req = MakeRequest(Verb::kExtract);
+  req.extract.workspace = "rand";
+  req.extract.k = 5;
+  req.timeout_s = 0.005;
+
+  // HandleAsync delivers the worker's own response (the synchronous
+  // Handle would race it with its wait-timeout), so the status observed
+  // here is exactly what the pipeline returned.
+  std::promise<Response> delivered;
+  server.HandleAsync(req, [&](Response r) { delivered.set_value(std::move(r)); });
+  Response resp = delivered.get_future().get();
+  EXPECT_EQ(resp.status.code(), util::StatusCode::kDeadlineExceeded)
+      << resp.status;
+
+  // The abort is recorded as a timeout, and the workspace kept its old
+  // (schema-less) generation.
+  bool saw = false;
+  for (const VerbStats& s : server.metrics().Snapshot()) {
+    if (s.verb == "extract") {
+      saw = true;
+      EXPECT_GE(s.timeouts, 1u);
+    }
+  }
+  EXPECT_TRUE(saw);
+  Response list = server.Handle(MakeRequest(Verb::kListWorkspaces));
+  ASSERT_OK(list.status);
+  EXPECT_EQ(Field(Field(list.result, "workspaces").AsArray()[0], "num_types")
+                .AsNumber(),
+            0);
+}
+
+TEST_F(ServiceTest, GenerationsShareOneFrozenGraph) {
+  // Workspace generations produced by extract/type-commit must hold the
+  // SAME FrozenGraph instance — observable as a stable graph_id — while
+  // concurrent queries keep racing the swaps.
+  Server server;
+  ASSERT_OK(server.InstallWorkspace("dbg", MakeDbgWorkspace()));
+
+  auto graph_id = [&]() -> double {
+    Response list = server.Handle(MakeRequest(Verb::kListWorkspaces));
+    EXPECT_TRUE(list.status.ok()) << list.status;
+    return Field(Field(list.result, "workspaces").AsArray()[0], "graph_id")
+        .AsNumber();
+  };
+  const double original_id = graph_id();
+  EXPECT_GT(original_id, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> query_fail{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; !stop.load(); ++i) {
+        Request req = MakeRequest(Verb::kQuery, t * 1000 + i);
+        req.query.workspace = "dbg";
+        req.query.query = "project.name";
+        if (!server.Handle(req).status.ok()) ++query_fail;
+      }
+    });
+  }
+  for (int i = 0; i < 6; ++i) {
+    Request req = MakeRequest(Verb::kExtract, 9000 + i);
+    req.extract.workspace = "dbg";
+    req.extract.k = (i % 2 == 0) ? 6 : 9;
+    ASSERT_OK(server.Handle(req).status);
+    // Every re-extract swapped the generation but kept the graph.
+    EXPECT_EQ(graph_id(), original_id) << "generation " << i;
+  }
+  stop = true;
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(query_fail.load(), 0);
+
+  // stats agrees: one distinct graph, with a real footprint, even though
+  // seven generations (1 install + 6 extracts) came and went.
+  Response stats = server.Handle(MakeRequest(Verb::kStats));
+  ASSERT_OK(stats.status);
+  EXPECT_EQ(Field(stats.result, "distinct_graphs").AsNumber(), 1);
+  EXPECT_GT(Field(stats.result, "graph_bytes").AsNumber(), 0);
+
+  // A fresh install is a genuinely new snapshot: the id changes.
+  ASSERT_OK(server.InstallWorkspace("dbg", MakeDbgWorkspace()));
+  EXPECT_NE(graph_id(), original_id);
 }
 
 TEST_F(ServiceTest, ConcurrentQueriesVsReExtract) {

@@ -91,16 +91,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       schemex::catalog::Workspace ws;
-      ws.graph = *std::move(g);
+      ws.SetGraph(*g);
       ws.assignment =
-          schemex::typing::TypeAssignment(ws.graph.NumObjects());
+          schemex::typing::TypeAssignment(ws.graph->NumObjects());
       auto st = schemex::catalog::SaveWorkspace(ws, v);
       if (!st.ok()) {
         std::fprintf(stderr, "gen-demo: %s\n", st.ToString().c_str());
         return 1;
       }
       std::fprintf(stderr, "wrote demo workspace (%zu objects, %zu edges) to %s\n",
-                   ws.graph.NumObjects(), ws.graph.NumEdges(), v);
+                   ws.graph->NumObjects(), ws.graph->NumEdges(), v);
       return 0;
     } else if (arg == "--workspace") {
       const char* v = next();
