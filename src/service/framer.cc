@@ -1,0 +1,103 @@
+#include "service/framer.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace schemex::service {
+
+namespace {
+
+// Compact the consumed prefix once it dominates the buffer, so a
+// long-lived connection does not retain every byte it ever framed.
+constexpr size_t kCompactThreshold = 64 * 1024;
+
+}  // namespace
+
+Framer::Framer(const FramerOptions& options) : options_(options) {}
+
+void Framer::Feed(std::string_view bytes) {
+  if (finished_ || bytes.empty()) return;
+  buf_.append(bytes.data(), bytes.size());
+}
+
+void Framer::Finish() { finished_ = true; }
+
+bool Framer::Emit(std::string line, util::StatusOr<std::string>* out) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (util::Trim(line).empty()) return false;  // blank: skip for free
+  ++lines_framed_;
+  if (options_.max_line_bytes > 0 && line.size() > options_.max_line_bytes) {
+    *out = util::Status::InvalidArgument(util::StringPrintf(
+        "request line of %zu bytes exceeds the %zu-byte limit", line.size(),
+        options_.max_line_bytes));
+    return true;
+  }
+  if (line.find('\0') != std::string::npos) {
+    *out = util::Status::InvalidArgument(
+        "request line contains an embedded NUL byte");
+    return true;
+  }
+  *out = std::move(line);
+  return true;
+}
+
+bool Framer::Next(util::StatusOr<std::string>* out) {
+  for (;;) {
+    size_t nl = buf_.find('\n', scan_);
+    if (nl == std::string::npos) {
+      scan_ = buf_.size();
+      size_t pending = buf_.size() - start_;
+      if (discarding_) {
+        // Drop the oversized line's tail as it streams in; the error was
+        // already reported when the limit was first crossed.
+        buf_.clear();
+        start_ = scan_ = 0;
+        return false;
+      }
+      if (options_.max_line_bytes > 0 && pending > options_.max_line_bytes) {
+        // The unterminated line already blew the budget: reject it now
+        // (bounding memory) and discard until the next newline.
+        discarding_ = true;
+        buf_.clear();
+        start_ = scan_ = 0;
+        ++lines_framed_;
+        *out = util::Status::InvalidArgument(util::StringPrintf(
+            "request line exceeds the %zu-byte limit",
+            options_.max_line_bytes));
+        return true;
+      }
+      if (finished_ && pending > 0) {
+        // EOF with no trailing newline: the final partial line is a real
+        // request, not garbage to drop.
+        std::string line = buf_.substr(start_);
+        buf_.clear();
+        start_ = scan_ = 0;
+        if (Emit(std::move(line), out)) return true;
+        continue;
+      }
+      if (start_ > kCompactThreshold) {
+        buf_.erase(0, start_);
+        scan_ -= start_;
+        start_ = 0;
+      }
+      return false;
+    }
+
+    std::string line = buf_.substr(start_, nl - start_);
+    start_ = nl + 1;
+    scan_ = start_;
+    if (start_ > kCompactThreshold) {
+      buf_.erase(0, start_);
+      start_ = scan_ = 0;
+    }
+    if (discarding_) {
+      // This newline terminates the oversized line; resume framing.
+      discarding_ = false;
+      continue;
+    }
+    if (Emit(std::move(line), out)) return true;
+  }
+}
+
+}  // namespace schemex::service

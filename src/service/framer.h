@@ -1,0 +1,75 @@
+#ifndef SCHEMEX_SERVICE_FRAMER_H_
+#define SCHEMEX_SERVICE_FRAMER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace schemex::service {
+
+struct FramerOptions {
+  /// Maximum bytes in one request line (the newline excluded). A longer
+  /// line is rejected with kInvalidArgument and the framer resynchronizes
+  /// at the next newline, so one oversized request cannot wedge or
+  /// memory-exhaust the connection. 0 = unlimited.
+  size_t max_line_bytes = 1 << 20;
+};
+
+/// Incremental NDJSON line framing, shared by the stdio and TCP front
+/// ends so both paths agree on the wire format's edge cases:
+///
+///  * A trailing line without a final newline at EOF is still framed
+///    (after Finish()), never silently dropped.
+///  * A line with an embedded NUL is rejected with kInvalidArgument —
+///    NUL cannot appear in JSON text and historically truncated the line
+///    in C-string handling downstream.
+///  * Blank lines (only ASCII whitespace, e.g. keep-alive newlines or a
+///    CRLF tail) are skipped for free.
+///  * An oversized line yields exactly one kInvalidArgument and the
+///    framer discards input until the next newline; framing then resumes.
+///
+/// Usage: Feed() raw bytes as they arrive, then drain with Next() until
+/// it returns false. At end of input call Finish() and drain once more.
+class Framer {
+ public:
+  explicit Framer(const FramerOptions& options = {});
+
+  /// Appends raw bytes to the frame buffer.
+  void Feed(std::string_view bytes);
+
+  /// Pops the next complete line into `*out` — either a framed line or a
+  /// kInvalidArgument status (oversized / embedded NUL). Returns false
+  /// when no complete line is buffered yet.
+  bool Next(util::StatusOr<std::string>* out);
+
+  /// Signals end of input: a buffered unterminated final line becomes
+  /// available to Next(). Feed() after Finish() is a no-op.
+  void Finish();
+
+  bool finished() const { return finished_; }
+
+  /// Bytes buffered but not yet framed into a line.
+  size_t buffered_bytes() const { return buf_.size() - start_; }
+
+  /// Lines handed out by Next() so far (errors included).
+  size_t lines_framed() const { return lines_framed_; }
+
+ private:
+  /// Validates one raw line (CR stripped) and fills `*out`. Returns false
+  /// for a blank line, which the caller skips.
+  bool Emit(std::string line, util::StatusOr<std::string>* out);
+
+  FramerOptions options_;
+  std::string buf_;
+  size_t start_ = 0;      ///< offset of the current line's first byte
+  size_t scan_ = 0;       ///< offset up to which buf_ was scanned for '\n'
+  bool discarding_ = false;  ///< inside an oversized line, waiting for '\n'
+  bool finished_ = false;
+  size_t lines_framed_ = 0;
+};
+
+}  // namespace schemex::service
+
+#endif  // SCHEMEX_SERVICE_FRAMER_H_

@@ -65,6 +65,28 @@ void MetricsRegistry::Record(const std::string& verb, double latency_ms,
   ++r.buckets[BucketIndex(latency_ms)];
 }
 
+void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(counters_.begin(), counters_.end(),
+                         [&](const auto& p) { return p.first == name; });
+  if (it == counters_.end()) {
+    counters_.emplace_back(name, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<VerbStats> MetricsRegistry::Snapshot() const {
   std::vector<VerbStats> out;
   {

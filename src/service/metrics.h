@@ -36,6 +36,11 @@ struct VerbStats {
 /// from 1 microsecond; recording is a mutex-guarded increment (the mutex
 /// is per-registry: contention is negligible next to request work, and a
 /// single lock keeps Snapshot consistent).
+///
+/// Besides the per-verb histograms the registry carries named integer
+/// counters for transport-level metrics (connection counts, bytes in/out
+/// of the TCP front end). Counters are signed so gauges like
+/// `tcp.connections_open` can go both ways.
 class MetricsRegistry {
  public:
   static constexpr size_t kNumBuckets = 64;
@@ -44,8 +49,15 @@ class MetricsRegistry {
   void Record(const std::string& verb, double latency_ms, bool ok,
               bool timeout);
 
+  /// Adds `delta` (possibly negative) to the named counter, creating it
+  /// at zero on first touch.
+  void AddCounter(const std::string& name, int64_t delta);
+
   /// Consistent snapshot of every verb seen so far, sorted by verb name.
   std::vector<VerbStats> Snapshot() const;
+
+  /// Snapshot of all named counters, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
 
   /// Upper bound (ms) of histogram bucket `i` — exposed for tests.
   static double BucketUpperMs(size_t i);
@@ -63,6 +75,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   // Small map; a vector of pairs keeps Snapshot ordering deterministic.
   std::vector<std::pair<std::string, Recorder>> recorders_;
+  std::vector<std::pair<std::string, int64_t>> counters_;
 };
 
 }  // namespace schemex::service

@@ -445,6 +445,14 @@ util::StatusOr<json::Value> Server::HandleStats() {
   }
   std::map<std::string, Value> f;
   f["verbs"] = Value::Array(std::move(verbs));
+  // Transport-level counters (tcp.* when the TCP front end is attached).
+  {
+    std::map<std::string, Value> c;
+    for (const auto& [name, value] : metrics_.CounterSnapshot()) {
+      c[name] = JsonInt(value);
+    }
+    if (!c.empty()) f["counters"] = Value::Object(std::move(c));
+  }
   f["workspaces"] = JsonUint(WorkspaceNames().size());
   f["distinct_graphs"] = JsonUint(seen_graphs.size());
   f["graph_bytes"] = JsonUint(graph_bytes);

@@ -74,6 +74,11 @@ class Server {
   const ServerOptions& options() const { return options_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Registry handle for transport front ends (the TCP listener folds its
+  /// connection/byte counters into the same registry the verbs use, so
+  /// one `stats` request covers both).
+  MetricsRegistry& mutable_metrics() { return metrics_; }
+
  private:
   using Clock = std::chrono::steady_clock;
   using WorkspacePtr = std::shared_ptr<const catalog::Workspace>;

@@ -1,0 +1,193 @@
+#include "service/tcp_client.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace schemex::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+util::Status ErrnoStatus(const char* what) {
+  return util::Status::Internal(
+      util::StringPrintf("%s: %s", what, std::strerror(errno)));
+}
+
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+util::StatusOr<TcpClient> TcpClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             double connect_timeout_s) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0 || res == nullptr) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "cannot resolve \"%s\": %s", host.c_str(), gai_strerror(rc)));
+  }
+
+  int fd = ::socket(res->ai_family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return ErrnoStatus("socket");
+  }
+  // Non-blocking connect so the handshake honors the timeout, then back
+  // to blocking: reads are poll()-gated and writes may simply block.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    util::Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int timeout_ms = static_cast<int>(connect_timeout_s * 1e3);
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      ::close(fd);
+      return rc == 0 ? util::Status::DeadlineExceeded(util::StringPrintf(
+                           "connect to %s:%u timed out after %.3fs",
+                           host.c_str(), port, connect_timeout_s))
+                     : ErrnoStatus("poll(connect)");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return util::Status::Internal(util::StringPrintf(
+          "connect to %s:%u: %s", host.c_str(), port, std::strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpClient(fd);
+}
+
+TcpClient::TcpClient(TcpClient&& other) noexcept
+    : fd_(other.fd_), rbuf_(std::move(other.rbuf_)) {
+  other.fd_ = -1;
+}
+
+TcpClient& TcpClient::operator=(TcpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpClient::~TcpClient() { Close(); }
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+util::Status TcpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status TcpClient::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  return SendRaw(framed);
+}
+
+util::StatusOr<std::string> TcpClient::ReadLine(double timeout_s) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, RemainingMs(deadline));
+    if (rc == 0) {
+      return util::Status::DeadlineExceeded(util::StringPrintf(
+          "no response line within %.3fs", timeout_s));
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return ErrnoStatus("recv");
+    // EOF: a final unterminated line still counts as a line.
+    if (!rbuf_.empty()) {
+      std::string line = std::move(rbuf_);
+      rbuf_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    return util::Status::FailedPrecondition(
+        "connection closed before a response line arrived");
+  }
+}
+
+util::StatusOr<json::Value> TcpClient::Call(std::string_view request_line,
+                                            double timeout_s) {
+  SCHEMEX_RETURN_IF_ERROR(SendLine(request_line));
+  SCHEMEX_ASSIGN_OR_RETURN(std::string line, ReadLine(timeout_s));
+  return json::Parse(line);
+}
+
+}  // namespace schemex::service

@@ -1,0 +1,72 @@
+#ifndef SCHEMEX_SERVICE_TCP_CLIENT_H_
+#define SCHEMEX_SERVICE_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "json/json.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace schemex::service {
+
+/// A small blocking NDJSON client for the schemexd TCP front end, used by
+/// the test harness, the stress driver, bench_tcp, and the `schemexctl`
+/// one-shot tool. Not thread-safe; one connection per thread.
+///
+/// Error mapping: connect/send/receive failures are kInternal, a closed
+/// peer is kFailedPrecondition ("connection closed..."), and an exhausted
+/// wait budget is kDeadlineExceeded.
+class TcpClient {
+ public:
+  /// Connects to host:port. `host` is a numeric IPv4 address or a name
+  /// resolvable via getaddrinfo ("localhost"). `connect_timeout_s` bounds
+  /// the TCP handshake.
+  static util::StatusOr<TcpClient> Connect(const std::string& host,
+                                           uint16_t port,
+                                           double connect_timeout_s = 5.0);
+
+  TcpClient(TcpClient&& other) noexcept;
+  TcpClient& operator=(TcpClient&& other) noexcept;
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+  ~TcpClient();
+
+  /// Sends `line` plus a trailing newline, looping over partial writes.
+  util::Status SendLine(std::string_view line);
+
+  /// Sends exactly `bytes` — no newline appended. Lets tests produce
+  /// half-lines, embedded NULs, and unterminated-at-EOF requests.
+  util::Status SendRaw(std::string_view bytes);
+
+  /// Blocks until one full response line arrives (newline stripped) or
+  /// `timeout_s` elapses (kDeadlineExceeded). A connection closed cleanly
+  /// with no buffered partial line is kFailedPrecondition; a final
+  /// unterminated line before EOF is returned like any other.
+  util::StatusOr<std::string> ReadLine(double timeout_s = 30.0);
+
+  /// SendLine + ReadLine + json::Parse of the response envelope.
+  util::StatusOr<json::Value> Call(std::string_view request_line,
+                                   double timeout_s = 30.0);
+
+  /// Half-close: no more sends; the server sees EOF but can still
+  /// respond to everything already written.
+  void ShutdownWrite();
+
+  /// Full close (also run by the destructor). Idempotent.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit TcpClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string rbuf_;  ///< bytes received past the last returned line
+};
+
+}  // namespace schemex::service
+
+#endif  // SCHEMEX_SERVICE_TCP_CLIENT_H_

@@ -1,0 +1,154 @@
+#include "service/framer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace schemex::service {
+namespace {
+
+/// Drains every currently-available line; errors come back as "<ERR:...>"
+/// markers so tests can assert order and kind in one vector.
+std::vector<std::string> Drain(Framer& framer) {
+  std::vector<std::string> out;
+  util::StatusOr<std::string> line = std::string();
+  while (framer.Next(&line)) {
+    if (line.ok()) {
+      out.push_back(*line);
+    } else {
+      EXPECT_EQ(line.status().code(), util::StatusCode::kInvalidArgument)
+          << line.status();
+      out.push_back("<ERR>");
+    }
+  }
+  return out;
+}
+
+TEST(FramerTest, SingleAndMultipleLines) {
+  Framer f;
+  f.Feed("{\"a\":1}\n");
+  EXPECT_EQ(Drain(f), std::vector<std::string>{"{\"a\":1}"});
+  f.Feed("one\ntwo\nthree\n");
+  EXPECT_EQ(Drain(f), (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_EQ(f.lines_framed(), 4u);
+}
+
+TEST(FramerTest, LineSplitAcrossFeeds) {
+  Framer f;
+  f.Feed("{\"verb\":");
+  EXPECT_TRUE(Drain(f).empty());
+  f.Feed("\"stats\"");
+  EXPECT_TRUE(Drain(f).empty());
+  f.Feed("}\nrest");
+  EXPECT_EQ(Drain(f), std::vector<std::string>{"{\"verb\":\"stats\"}"});
+  EXPECT_EQ(f.buffered_bytes(), 4u);  // "rest" awaits its newline
+}
+
+TEST(FramerTest, BlankLinesAndCrlfAreFree) {
+  Framer f;
+  f.Feed("\n\n  \t \na\r\n\r\nb\n");
+  EXPECT_EQ(Drain(f), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(f.lines_framed(), 2u);
+}
+
+TEST(FramerTest, FinalLineWithoutNewlineSurvivesEof) {
+  // The bug class this framer exists to kill: a trailing request with no
+  // '\n' before EOF must still be framed, not silently dropped.
+  Framer f;
+  f.Feed("first\nlast-without-newline");
+  EXPECT_EQ(Drain(f), std::vector<std::string>{"first"});
+  f.Finish();
+  EXPECT_EQ(Drain(f), std::vector<std::string>{"last-without-newline"});
+  EXPECT_TRUE(f.finished());
+  // Finish with nothing buffered yields nothing.
+  util::StatusOr<std::string> line = std::string();
+  EXPECT_FALSE(f.Next(&line));
+}
+
+TEST(FramerTest, FeedAfterFinishIsIgnored) {
+  Framer f;
+  f.Finish();
+  f.Feed("late\n");
+  util::StatusOr<std::string> line = std::string();
+  EXPECT_FALSE(f.Next(&line));
+  EXPECT_EQ(f.buffered_bytes(), 0u);
+}
+
+TEST(FramerTest, EmbeddedNulIsRejectedNotTruncated) {
+  Framer f;
+  std::string evil = "{\"verb\":\"stats\"}";
+  evil.insert(5, 1, '\0');
+  f.Feed(evil + "\nok\n");
+  // The NUL line is a structured error; the next line still frames.
+  EXPECT_EQ(Drain(f), (std::vector<std::string>{"<ERR>", "ok"}));
+}
+
+TEST(FramerTest, EmbeddedNulInFinalEofLine) {
+  Framer f;
+  f.Feed(std::string("bad\0line", 8));
+  f.Finish();
+  util::StatusOr<std::string> line = std::string();
+  ASSERT_TRUE(f.Next(&line));
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(FramerTest, OversizedTerminatedLineRejectedThenResyncs) {
+  FramerOptions opt;
+  opt.max_line_bytes = 8;
+  Framer f(opt);
+  f.Feed("0123456789\nshort\n");
+  EXPECT_EQ(Drain(f), (std::vector<std::string>{"<ERR>", "short"}));
+}
+
+TEST(FramerTest, OversizedStreamingLineRejectedOnceAndBounded) {
+  // An unterminated fire-hose line is rejected as soon as it crosses the
+  // limit (exactly one error), its tail is discarded without buffering,
+  // and framing resumes at the next newline.
+  FramerOptions opt;
+  opt.max_line_bytes = 16;
+  Framer f(opt);
+  f.Feed(std::string(40, 'x'));
+  util::StatusOr<std::string> line = std::string();
+  ASSERT_TRUE(f.Next(&line));
+  EXPECT_FALSE(line.ok());
+  EXPECT_FALSE(f.Next(&line));
+  // More of the same line: no second error, no growth.
+  f.Feed(std::string(1000, 'y'));
+  EXPECT_FALSE(f.Next(&line));
+  EXPECT_EQ(f.buffered_bytes(), 0u);
+  f.Feed("tail-of-oversized\nclean\n");
+  EXPECT_EQ(Drain(f), std::vector<std::string>{"clean"});
+}
+
+TEST(FramerTest, UnlimitedLineSizeWhenZero) {
+  FramerOptions opt;
+  opt.max_line_bytes = 0;
+  Framer f(opt);
+  std::string big(1 << 20, 'z');
+  f.Feed(big + "\n");
+  EXPECT_EQ(Drain(f), std::vector<std::string>{big});
+}
+
+TEST(FramerTest, LongLivedConnectionCompactsItsBuffer) {
+  // Many small lines through one framer: the consumed prefix must not
+  // accumulate forever.
+  Framer f;
+  const std::string line = "{\"id\":1,\"verb\":\"stats\"}\n";
+  size_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    f.Feed(line);
+    util::StatusOr<std::string> got = std::string();
+    ASSERT_TRUE(f.Next(&got));
+    ASSERT_TRUE(got.ok());
+    total += got->size();
+  }
+  EXPECT_EQ(total, 20000u * (line.size() - 1));
+  EXPECT_EQ(f.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace schemex::service

@@ -1,0 +1,139 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace schemex::service {
+namespace {
+
+TEST(MetricsTest, ZeroObservationsSnapshotIsEmpty) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.Snapshot().empty());
+  EXPECT_TRUE(m.CounterSnapshot().empty());
+}
+
+TEST(MetricsTest, ZeroAndNegligibleLatencyLandInFirstBucket) {
+  MetricsRegistry m;
+  m.Record("q", 0.0, /*ok=*/true, /*timeout=*/false);
+  m.Record("q", 1e-9, /*ok=*/true, /*timeout=*/false);
+  auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 2u);
+  EXPECT_EQ(snap[0].errors, 0u);
+  // Percentiles are clamped to the observed max, so a 0 ms max yields
+  // 0 ms percentiles, not the first bucket's upper bound.
+  EXPECT_DOUBLE_EQ(snap[0].max_ms, 1e-9);
+  EXPECT_LE(snap[0].p50_ms, snap[0].max_ms);
+  EXPECT_LE(snap[0].p99_ms, snap[0].max_ms);
+}
+
+TEST(MetricsTest, BucketLadderIsMonotoneAndCoversTheTail) {
+  double prev = 0;
+  for (size_t i = 0; i < MetricsRegistry::kNumBuckets; ++i) {
+    double upper = MetricsRegistry::BucketUpperMs(i);
+    EXPECT_GT(upper, prev) << "bucket " << i;
+    prev = upper;
+  }
+  // The ladder tops out far past any plausible request latency.
+  EXPECT_GT(prev, 1e9);
+}
+
+TEST(MetricsTest, MaxBucketOverflowIsClampedNotLost) {
+  MetricsRegistry m;
+  // A latency beyond the last bucket's upper bound must still count and
+  // must not push the percentile past the ladder (or the true max).
+  const double huge_ms = 1e18;
+  m.Record("slow", huge_ms, /*ok=*/true, /*timeout=*/false);
+  auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap[0].max_ms, huge_ms);
+  const double last_upper =
+      MetricsRegistry::BucketUpperMs(MetricsRegistry::kNumBuckets - 1);
+  EXPECT_DOUBLE_EQ(snap[0].p50_ms, last_upper);
+  EXPECT_DOUBLE_EQ(snap[0].p99_ms, last_upper);
+  EXPECT_LE(snap[0].p99_ms, snap[0].max_ms);
+}
+
+TEST(MetricsTest, PercentilesBracketTheDistribution) {
+  MetricsRegistry m;
+  // 50 fast observations and two slow ones: p50 stays near the fast
+  // mass; p99's rank (ceil(0.99 * 52) = 52) lands in the slow tail.
+  for (int i = 0; i < 50; ++i) {
+    m.Record("v", 0.01, /*ok=*/true, /*timeout=*/false);
+  }
+  m.Record("v", 100.0, /*ok=*/true, /*timeout=*/false);
+  m.Record("v", 100.0, /*ok=*/true, /*timeout=*/false);
+  auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_LT(snap[0].p50_ms, 0.1);
+  EXPECT_GT(snap[0].p99_ms, 10.0);
+  EXPECT_LE(snap[0].p99_ms, snap[0].max_ms);
+}
+
+TEST(MetricsTest, ConcurrentObserveFromManyThreadsLosesNothing) {
+  MetricsRegistry m;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Mix verbs, latencies spanning many buckets, and error/timeout
+        // flags so every counter is contended.
+        const bool err = i % 10 == 0;
+        const bool timeout = i % 20 == 0;
+        m.Record(t % 2 == 0 ? "a" : "b",
+                 std::pow(10.0, (i % 7) - 3),  // 1us .. 1000ms
+                 !err, timeout);
+        m.AddCounter("tcp.bytes_in", 3);
+        m.AddCounter("tcp.connections_open", i % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t count = 0, errors = 0, timeouts = 0;
+  double total_ms = 0;
+  for (const VerbStats& s : m.Snapshot()) {
+    count += s.count;
+    errors += s.errors;
+    timeouts += s.timeouts;
+    total_ms += s.total_ms;
+  }
+  EXPECT_EQ(count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(errors, static_cast<uint64_t>(kThreads * kPerThread / 10));
+  EXPECT_EQ(timeouts, static_cast<uint64_t>(kThreads * kPerThread / 20));
+  // Each thread contributes the same latency sum; the aggregate must be
+  // exact up to floating-point addition order.
+  double per_thread = 0;
+  for (int i = 0; i < kPerThread; ++i) per_thread += std::pow(10.0, (i % 7) - 3);
+  EXPECT_NEAR(total_ms, per_thread * kThreads, total_ms * 1e-9);
+
+  int64_t bytes = -1, open_gauge = -1;
+  for (const auto& [name, value] : m.CounterSnapshot()) {
+    if (name == "tcp.bytes_in") bytes = value;
+    if (name == "tcp.connections_open") open_gauge = value;
+  }
+  EXPECT_EQ(bytes, static_cast<int64_t>(kThreads) * kPerThread * 3);
+  EXPECT_EQ(open_gauge, 0);  // equal +1/-1 mix per thread
+}
+
+TEST(MetricsTest, CounterSnapshotSortedAndSigned) {
+  MetricsRegistry m;
+  m.AddCounter("z", 5);
+  m.AddCounter("a", -2);
+  m.AddCounter("z", -10);
+  auto counters = m.CounterSnapshot();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, -2);
+  EXPECT_EQ(counters[1].first, "z");
+  EXPECT_EQ(counters[1].second, -5);
+}
+
+}  // namespace
+}  // namespace schemex::service

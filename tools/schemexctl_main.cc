@@ -1,0 +1,149 @@
+// schemexctl — a tiny NDJSON client for the schemexd TCP front end.
+//
+//   schemexctl --connect HOST:PORT '<json-request>'
+//       send one request, print the one-line response, exit 0 when the
+//       response says "ok":true and 1 otherwise (like schemexd --once).
+//
+//   schemexctl --connect HOST:PORT --stdin
+//       pipeline mode: forward every stdin line as a request, print each
+//       response as it arrives (completion order — correlate by "id"),
+//       exit 0 only if every response was ok.
+//
+// Flags:
+//   --timeout S   per-response wait budget in seconds (default 30)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/framer.h"
+#include "service/tcp_client.h"
+#include "util/string_util.h"
+
+namespace {
+
+using schemex::service::TcpClient;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT ('<json-request>' | --stdin)\n"
+               "          [--timeout S]\n",
+               argv0);
+  return 2;
+}
+
+bool ResponseOk(const std::string& line) {
+  return line.find("\"ok\":true") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::string request;
+  bool from_stdin = false;
+  double timeout_s = 30.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      endpoint = v;
+    } else if (arg == "--stdin") {
+      from_stdin = true;
+    } else if (arg == "--timeout") {
+      const char* v = next();
+      if (v == nullptr || !schemex::util::ParseDouble(v, &timeout_s) ||
+          timeout_s <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (!arg.empty() && arg[0] != '-' && request.empty()) {
+      request = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (endpoint.empty() || from_stdin == !request.empty()) {
+    return Usage(argv[0]);
+  }
+
+  size_t colon = endpoint.rfind(':');
+  uint64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !schemex::util::ParseUint64(endpoint.substr(colon + 1), &port) ||
+      port == 0 || port > 65535) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got \"%s\"\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  auto client = TcpClient::Connect(endpoint.substr(0, colon),
+                                   static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!from_stdin) {
+    auto st = client->SendLine(request);
+    if (!st.ok()) {
+      std::fprintf(stderr, "send: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto line = client->ReadLine(timeout_s);
+    if (!line.ok()) {
+      std::fprintf(stderr, "read: %s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    return ResponseOk(*line) ? 0 : 1;
+  }
+
+  // Pipeline mode: send everything, then collect one response per
+  // non-blank request line. The same Framer as the server keeps the
+  // accounting honest (blank lines and an unterminated final line match
+  // what schemexd would admit).
+  schemex::service::Framer framer;
+  size_t sent = 0;
+  bool all_ok = true;
+  char buf[64 * 1024];
+  while (!framer.finished()) {
+    size_t n = std::fread(buf, 1, sizeof(buf), stdin);
+    if (n == 0) {
+      framer.Finish();
+    } else {
+      framer.Feed(std::string_view(buf, n));
+    }
+    schemex::util::StatusOr<std::string> line = std::string();
+    while (framer.Next(&line)) {
+      if (!line.ok()) {
+        // Locally unframeable (oversized / embedded NUL): the server
+        // would reject it anyway, so report and keep going.
+        std::fprintf(stderr, "request rejected: %s\n",
+                     line.status().ToString().c_str());
+        all_ok = false;
+        continue;
+      }
+      auto st = client->SendLine(*line);
+      if (!st.ok()) {
+        std::fprintf(stderr, "send: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      ++sent;
+    }
+  }
+  client->ShutdownWrite();
+  for (size_t i = 0; i < sent; ++i) {
+    auto line = client->ReadLine(timeout_s);
+    if (!line.ok()) {
+      std::fprintf(stderr, "read: %s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    if (!ResponseOk(*line)) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,10 +1,11 @@
 // schemexd — the schema-extraction service daemon.
 //
 // Speaks newline-delimited JSON (one request per line, one response per
-// line; see docs/service.md for the protocol). Two modes:
+// line; see docs/service.md for the protocol). Three modes:
 //
 //   schemexd --serve                 read requests from stdin until EOF
 //   schemexd --once '<json>'         execute a single request and exit
+//   schemexd --listen PORT           serve TCP clients until SIGTERM/SIGINT
 //
 // Common flags:
 //   --threads N          worker threads (default 4)
@@ -15,23 +16,37 @@
 //                        as a graph-only workspace and exit (a ready-made
 //                        target for load_workspace / --workspace)
 //
+// --listen flags:
+//   --bind ADDR          bind address (default 127.0.0.1; 0.0.0.0 = all)
+//   --idle-timeout S     drop idle connections after S seconds (default 300)
+//   --max-line BYTES     per-request line cap (default 1 MiB)
+//   --port-file PATH     write the bound port to PATH (useful with
+//                        `--listen 0`, which picks an ephemeral port)
+//
 // stdin/stdout keeps the daemon scriptable and testable without sockets:
 //   printf '%s\n' '{"verb":"list_workspaces"}' | schemexd --serve
 //
-// In --serve mode requests are dispatched concurrently; responses come
-// back in completion order, so clients must correlate by "id".
+// In --serve and --listen modes requests are dispatched concurrently;
+// responses come back in completion order, so clients correlate by "id".
+// SIGTERM/SIGINT in --listen mode drains gracefully: the listener closes,
+// in-flight requests finish, and their responses are flushed.
 
+#include <cerrno>
+#include <csignal>
 #include <condition_variable>
 #include <cstdio>
-#include <iostream>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "catalog/workspace.h"
 #include "gen/dbg.h"
+#include "service/framer.h"
 #include "service/request.h"
 #include "service/server.h"
+#include "service/tcp_server.h"
 #include "util/string_util.h"
 
 namespace {
@@ -40,21 +55,134 @@ using schemex::service::Request;
 using schemex::service::Response;
 using schemex::service::Server;
 using schemex::service::ServerOptions;
+using schemex::service::TcpServer;
+using schemex::service::TcpServerOptions;
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s (--serve | --once '<json-request>')\n"
-               "          [--threads N] [--timeout S] [--workspace NAME=DIR]...\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s (--serve | --once '<json-request>' | --listen PORT)\n"
+      "          [--threads N] [--timeout S] [--workspace NAME=DIR]...\n"
+      "          [--bind ADDR] [--idle-timeout S] [--max-line BYTES]\n"
+      "          [--port-file PATH]\n",
+      argv0);
   return 2;
+}
+
+// Self-pipe for async-signal-safe shutdown: the handler writes one byte,
+// the main thread blocks reading the other end.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*sig*/) {
+  char b = 0;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+/// --serve: stdin bytes run through the shared Framer (the same framing
+/// the TCP path uses, so unterminated final lines and embedded NULs get
+/// identical treatment), lines fan out onto the pool, and each response
+/// is printed whole under a mutex as its worker finishes. in_flight gates
+/// shutdown so EOF waits for every outstanding response.
+int ServeStdio(Server& server) {
+  std::mutex io_mu;
+  std::condition_variable io_cv;
+  size_t in_flight = 0;
+
+  auto print_response = [&](const Response& resp) {
+    std::lock_guard<std::mutex> lock(io_mu);
+    std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+
+  schemex::service::Framer framer;
+  char buf[64 * 1024];
+  while (!framer.finished()) {
+    size_t n = std::fread(buf, 1, sizeof(buf), stdin);
+    if (n == 0) {
+      framer.Finish();
+    } else {
+      framer.Feed(std::string_view(buf, n));
+    }
+    schemex::util::StatusOr<std::string> line = std::string();
+    while (framer.Next(&line)) {
+      schemex::util::StatusOr<Request> req =
+          line.ok() ? schemex::service::ParseRequestJson(*line)
+                    : schemex::util::StatusOr<Request>(line.status());
+      if (!req.ok()) {
+        Response resp;
+        resp.status = req.status();
+        print_response(resp);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(io_mu);
+        ++in_flight;
+      }
+      server.HandleAsync(*std::move(req), [&](Response resp) {
+        print_response(resp);
+        std::lock_guard<std::mutex> lock(io_mu);
+        --in_flight;
+        io_cv.notify_all();
+      });
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(io_mu);
+  io_cv.wait(lock, [&] { return in_flight == 0; });
+  return 0;
+}
+
+/// --listen: TCP front end until SIGTERM/SIGINT, then graceful drain.
+int ServeTcp(Server& server, const TcpServerOptions& tcp_options,
+             const std::string& port_file) {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  TcpServer tcp(&server, tcp_options);
+  auto st = tcp.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "listen: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "schemexd listening on %s:%u\n",
+               tcp_options.bind_address.c_str(), tcp.port());
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --port-file %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", tcp.port());
+    std::fclose(f);
+  }
+
+  // Block until a shutdown signal lands in the pipe.
+  char b = 0;
+  while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "schemexd draining (in-flight requests finish)...\n");
+  tcp.Shutdown();
+  std::fprintf(stderr, "schemexd stopped\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool serve = false;
+  bool listen = false;
   std::string once_request;
+  std::string port_file;
   ServerOptions options;
+  TcpServerOptions tcp_options;
   std::vector<std::pair<std::string, std::string>> preloads;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +196,37 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       once_request = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      uint64_t port = 0;
+      if (v == nullptr || !schemex::util::ParseUint64(v, &port) ||
+          port > 65535) {
+        return Usage(argv[0]);
+      }
+      listen = true;
+      tcp_options.port = static_cast<uint16_t>(port);
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      tcp_options.bind_address = v;
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      double s = 0;
+      if (v == nullptr || !schemex::util::ParseDouble(v, &s) || s < 0) {
+        return Usage(argv[0]);
+      }
+      tcp_options.idle_timeout_s = s;
+    } else if (arg == "--max-line") {
+      const char* v = next();
+      uint64_t n = 0;
+      if (v == nullptr || !schemex::util::ParseUint64(v, &n) || n == 0) {
+        return Usage(argv[0]);
+      }
+      tcp_options.max_line_bytes = static_cast<size_t>(n);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port_file = v;
     } else if (arg == "--threads") {
       const char* v = next();
       uint64_t n = 0;
@@ -117,7 +276,10 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (serve == !once_request.empty()) return Usage(argv[0]);
+  // Exactly one mode.
+  const int modes = (serve ? 1 : 0) + (listen ? 1 : 0) +
+                    (once_request.empty() ? 0 : 1);
+  if (modes != 1) return Usage(argv[0]);
 
   Server server(options);
 
@@ -147,41 +309,6 @@ int main(int argc, char** argv) {
     return out.find("\"ok\":true") != std::string::npos ? 0 : 1;
   }
 
-  // --serve: stdin lines fan out onto the pool; each response is printed
-  // whole under a mutex as its worker finishes. in_flight gates shutdown
-  // so EOF waits for every outstanding response.
-  std::mutex io_mu;
-  std::condition_variable io_cv;
-  size_t in_flight = 0;
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (schemex::util::Trim(line).empty()) continue;
-    auto req = schemex::service::ParseRequestJson(line);
-    if (!req.ok()) {
-      Response resp;
-      resp.status = req.status();
-      std::lock_guard<std::mutex> lock(io_mu);
-      std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
-      std::fputc('\n', stdout);
-      std::fflush(stdout);
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(io_mu);
-      ++in_flight;
-    }
-    server.HandleAsync(*std::move(req), [&](Response resp) {
-      std::lock_guard<std::mutex> lock(io_mu);
-      std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
-      std::fputc('\n', stdout);
-      std::fflush(stdout);
-      --in_flight;
-      io_cv.notify_all();
-    });
-  }
-
-  std::unique_lock<std::mutex> lock(io_mu);
-  io_cv.wait(lock, [&] { return in_flight == 0; });
-  return 0;
+  if (listen) return ServeTcp(server, tcp_options, port_file);
+  return ServeStdio(server);
 }
