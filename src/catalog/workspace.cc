@@ -7,12 +7,24 @@
 #include "graph/graph_io.h"
 #include "typing/program_io.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace schemex::catalog {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Serializes SaveWorkspace process-wide. Two concurrent saves into the
+/// same directory would interleave their three renames and could leave a
+/// graph from one generation next to a schema from another on disk —
+/// Validate() would reject it at load, but the save itself should never
+/// manufacture that state. Saves are rare and I/O-bound, so one coarse
+/// lock is plenty.
+util::Mutex& SaveMutex() {
+  static util::Mutex mu;
+  return mu;
+}
 
 // Writes to "<path>.tmp" and renames into place, so a concurrent reader
 // opens either the complete old file or the complete new file — never a
@@ -128,6 +140,7 @@ util::Status Workspace::Validate() const {
 
 util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
   SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  util::MutexLock lock(SaveMutex());
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {

@@ -1,6 +1,7 @@
 #include "graph/data_graph.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/string_util.h"
 
@@ -80,6 +81,16 @@ util::Status DataGraph::AddEdge(ObjectId from, ObjectId to, LabelId label) {
 util::Status DataGraph::AddEdge(ObjectId from, ObjectId to,
                                 std::string_view label) {
   return AddEdge(from, to, labels_.Intern(label));
+}
+
+void DataGraph::MergeEdge(ObjectId from, ObjectId to, LabelId label) {
+  util::Status st = AddEdge(from, to, label);
+  assert(st.ok() || st.code() == util::StatusCode::kAlreadyExists);
+  static_cast<void>(st);  // consumed by the assert; duplicates are benign
+}
+
+void DataGraph::MergeEdge(ObjectId from, ObjectId to, std::string_view label) {
+  MergeEdge(from, to, labels_.Intern(label));
 }
 
 util::Status DataGraph::RemoveEdge(ObjectId from, ObjectId to, LabelId label) {

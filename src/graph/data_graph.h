@@ -66,6 +66,15 @@ class DataGraph {
   /// Convenience overload interning `label` by name.
   util::Status AddEdge(ObjectId from, ObjectId to, std::string_view label);
 
+  /// Set-semantics insert for importers: a duplicate (from, to, label)
+  /// edge collapses silently (AlreadyExists is the *expected* outcome on
+  /// re-walked structures), while the real failure modes — ids out of
+  /// range, atomic source — assert in debug builds. Use AddEdge when the
+  /// caller can propagate a Status; use MergeEdge when duplicates are
+  /// by-design benign.
+  void MergeEdge(ObjectId from, ObjectId to, LabelId label);
+  void MergeEdge(ObjectId from, ObjectId to, std::string_view label);
+
   /// Removes edge (from, to, label) if present; returns NotFound otherwise.
   util::Status RemoveEdge(ObjectId from, ObjectId to, LabelId label);
 

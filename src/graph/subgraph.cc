@@ -27,7 +27,7 @@ DataGraph InducedSubgraph(GraphView g,
       }
       // Duplicate `keep` entries were skipped above, so this cannot fail,
       // but stay defensive on principle.
-      (void)sub.AddEdge(remap[o], remap[e.other], e.label);
+      sub.MergeEdge(remap[o], remap[e.other], e.label);
     }
   }
   if (old_to_new != nullptr) *old_to_new = std::move(remap);

@@ -40,16 +40,16 @@ class Importer {
         if (elem.kind() == Value::Kind::kArray) {
           // Array-of-arrays: intermediate node keeps nesting observable.
           graph::ObjectId wrapper = g_.AddComplex();
-          (void)g_.AddEdge(parent, wrapper, label);
+          g_.MergeEdge(parent, wrapper, label);
           for (const Value& inner : elem.AsArray()) {
             Attach(wrapper, "item", inner);
           }
         } else {
-          (void)g_.AddEdge(parent, ImportNode(elem), label);
+          g_.MergeEdge(parent, ImportNode(elem), label);
         }
       }
     } else {
-      (void)g_.AddEdge(parent, ImportNode(v), label);
+      g_.MergeEdge(parent, ImportNode(v), label);
     }
   }
 

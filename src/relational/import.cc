@@ -93,10 +93,10 @@ util::StatusOr<graph::DataGraph> ImportTables(
           size_t key = parsed[to].FindColumn(fk.to_key_column);
           auto target = key_index.find(std::make_tuple(to, key, value));
           if (target == key_index.end()) continue;  // dangling FK: drop
-          (void)g.AddEdge(row_ids[t][r], target->second, csv.header[c]);
+          g.MergeEdge(row_ids[t][r], target->second, csv.header[c]);
         } else {
-          (void)g.AddEdge(row_ids[t][r], atom_for(csv.header[c], value),
-                          csv.header[c]);
+          g.MergeEdge(row_ids[t][r], atom_for(csv.header[c], value),
+                      csv.header[c]);
         }
       }
     }

@@ -49,7 +49,7 @@ double MetricsRegistry::BucketUpperMs(size_t i) {
 
 void MetricsRegistry::Record(const std::string& verb, double latency_ms,
                              bool ok, bool timeout) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = std::find_if(recorders_.begin(), recorders_.end(),
                          [&](const auto& p) { return p.first == verb; });
   if (it == recorders_.end()) {
@@ -66,7 +66,7 @@ void MetricsRegistry::Record(const std::string& verb, double latency_ms,
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = std::find_if(counters_.begin(), counters_.end(),
                          [&](const auto& p) { return p.first == name; });
   if (it == counters_.end()) {
@@ -80,7 +80,7 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
     const {
   std::vector<std::pair<std::string, int64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     out = counters_;
   }
   std::sort(out.begin(), out.end());
@@ -90,7 +90,7 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
 std::vector<VerbStats> MetricsRegistry::Snapshot() const {
   std::vector<VerbStats> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     out.reserve(recorders_.size());
     for (const auto& [verb, r] : recorders_) {
       VerbStats s;

@@ -4,11 +4,11 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "json/json.h"
+#include "util/thread_annotations.h"
 
 namespace schemex::service {
 
@@ -47,17 +47,19 @@ class MetricsRegistry {
 
   /// Records one finished request for `verb`.
   void Record(const std::string& verb, double latency_ms, bool ok,
-              bool timeout);
+              bool timeout) SCHEMEX_EXCLUDES(mu_);
 
   /// Adds `delta` (possibly negative) to the named counter, creating it
   /// at zero on first touch.
-  void AddCounter(const std::string& name, int64_t delta);
+  void AddCounter(const std::string& name, int64_t delta)
+      SCHEMEX_EXCLUDES(mu_);
 
   /// Consistent snapshot of every verb seen so far, sorted by verb name.
-  std::vector<VerbStats> Snapshot() const;
+  std::vector<VerbStats> Snapshot() const SCHEMEX_EXCLUDES(mu_);
 
   /// Snapshot of all named counters, sorted by name.
-  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
+  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const
+      SCHEMEX_EXCLUDES(mu_);
 
   /// Upper bound (ms) of histogram bucket `i` — exposed for tests.
   static double BucketUpperMs(size_t i);
@@ -72,10 +74,12 @@ class MetricsRegistry {
     std::array<uint64_t, kNumBuckets> buckets{};
   };
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Small map; a vector of pairs keeps Snapshot ordering deterministic.
-  std::vector<std::pair<std::string, Recorder>> recorders_;
-  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::vector<std::pair<std::string, Recorder>> recorders_
+      SCHEMEX_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, int64_t>> counters_
+      SCHEMEX_GUARDED_BY(mu_);
 };
 
 }  // namespace schemex::service

@@ -193,7 +193,7 @@ util::Status Server::InstallWorkspace(const std::string& name,
 }
 
 std::vector<std::string> Server::WorkspaceNames() const {
-  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  util::ReaderMutexLock lock(cache_mu_);
   std::vector<std::string> names;
   names.reserve(cache_.size());
   for (const auto& [name, ws] : cache_) names.push_back(name);
@@ -202,7 +202,7 @@ std::vector<std::string> Server::WorkspaceNames() const {
 
 util::StatusOr<Server::WorkspacePtr> Server::GetWorkspace(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(cache_mu_);
+  util::ReaderMutexLock lock(cache_mu_);
   auto it = cache_.find(name);
   if (it == cache_.end()) {
     return util::Status::NotFound("no workspace named \"" + name +
@@ -213,7 +213,7 @@ util::StatusOr<Server::WorkspacePtr> Server::GetWorkspace(
 
 void Server::PutWorkspace(const std::string& name, catalog::Workspace ws) {
   auto snapshot = std::make_shared<const catalog::Workspace>(std::move(ws));
-  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  util::WriterMutexLock lock(cache_mu_);
   cache_[name] = std::move(snapshot);
 }
 
@@ -436,7 +436,7 @@ util::StatusOr<json::Value> Server::HandleStats() {
   size_t graph_bytes = 0;
   std::set<uint64_t> seen_graphs;
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    util::ReaderMutexLock lock(cache_mu_);
     for (const auto& [name, ws] : cache_) {
       if (ws->graph && seen_graphs.insert(ws->graph->id()).second) {
         graph_bytes += ws->graph->MemoryUsage();
@@ -464,7 +464,7 @@ util::StatusOr<json::Value> Server::HandleStats() {
 util::StatusOr<json::Value> Server::HandleListWorkspaces() {
   std::vector<std::pair<std::string, WorkspacePtr>> entries;
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    util::ReaderMutexLock lock(cache_mu_);
     entries.assign(cache_.begin(), cache_.end());
   }
   std::vector<Value> out;

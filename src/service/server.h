@@ -5,13 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/workspace.h"
 #include "service/metrics.h"
 #include "service/request.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace schemex::service {
@@ -69,7 +69,7 @@ class Server {
                                 catalog::Workspace ws);
 
   /// Names of cached workspaces, sorted.
-  std::vector<std::string> WorkspaceNames() const;
+  std::vector<std::string> WorkspaceNames() const SCHEMEX_EXCLUDES(cache_mu_);
 
   const ServerOptions& options() const { return options_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -101,16 +101,18 @@ class Server {
   util::StatusOr<json::Value> HandleListWorkspaces();
 
   /// Snapshot of a cache entry (shared lock held only for the map read).
-  util::StatusOr<WorkspacePtr> GetWorkspace(const std::string& name) const;
+  util::StatusOr<WorkspacePtr> GetWorkspace(const std::string& name) const
+      SCHEMEX_EXCLUDES(cache_mu_);
 
   /// Swaps `ws` in under the exclusive lock.
-  void PutWorkspace(const std::string& name, catalog::Workspace ws);
+  void PutWorkspace(const std::string& name, catalog::Workspace ws)
+      SCHEMEX_EXCLUDES(cache_mu_);
 
   ServerOptions options_;
   MetricsRegistry metrics_;
 
-  mutable std::shared_mutex cache_mu_;
-  std::map<std::string, WorkspacePtr> cache_;
+  mutable util::SharedMutex cache_mu_;
+  std::map<std::string, WorkspacePtr> cache_ SCHEMEX_GUARDED_BY(cache_mu_);
 
   // Last member: destroyed (joined) first, so in-flight workers never
   // touch an already-destroyed cache or registry.

@@ -11,12 +11,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <utility>
 
 #include "service/framer.h"
 #include "service/request.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace schemex::service {
 
@@ -37,25 +37,31 @@ bool SetNonBlocking(int fd) {
 }  // namespace
 
 /// Per-connection state. The poll thread owns the fd and the framer;
-/// `mu` guards only what pool workers touch (outbox, in_flight, closed).
+/// `mu` guards everything both the poll thread and pool workers touch
+/// (outbox, in_flight, closed, last_activity).
 struct TcpServer::Connection {
-  int fd = -1;
+  int fd = -1;  ///< set once before the connection is published
+  // Poll-thread only: framing state and the read-side EOF/drain flag.
   Framer framer;
-  Clock::time_point last_activity;
   bool read_closed = false;  ///< peer EOF or drain: no more requests framed
 
-  std::mutex mu;
-  std::string outbox;    ///< serialized responses awaiting write
-  size_t in_flight = 0;  ///< dispatched requests without a response yet
-  bool closed = false;   ///< fd closed; late responses are dropped
+  util::Mutex mu;
+  std::string outbox SCHEMEX_GUARDED_BY(mu);  ///< responses awaiting write
+  size_t in_flight SCHEMEX_GUARDED_BY(mu) =
+      0;  ///< dispatched requests without a response yet
+  bool closed SCHEMEX_GUARDED_BY(mu) =
+      false;  ///< fd closed; late responses are dropped
+  /// Both the poll thread (reads, idle sweep) and pool workers (flushes)
+  /// stamp activity, so the timestamp shares the connection mutex.
+  Clock::time_point last_activity SCHEMEX_GUARDED_BY(mu);
 
   explicit Connection(const FramerOptions& fopt)
       : framer(fopt), last_activity(Clock::now()) {}
 };
 
 struct TcpServer::WakeHandle {
-  std::mutex mu;
-  int write_fd = -1;  ///< -1 once the server shut down
+  util::Mutex mu;
+  int write_fd SCHEMEX_GUARDED_BY(mu) = -1;  ///< -1 once the server shut down
 };
 
 TcpServer::TcpServer(Server* server, const TcpServerOptions& options)
@@ -120,27 +126,37 @@ util::Status TcpServer::Start() {
   draining_.store(false);
   stopped_.store(false);
   running_.store(true);
-  loop_thread_ = std::thread([this] { Loop(); });
+  {
+    util::MutexLock lock(join_mu_);
+    loop_thread_ = std::thread([this] { Loop(); });
+  }
   return util::Status::OK();
 }
 
 void TcpServer::Shutdown() {
+  // The CAS elects one winner to drive the drain; every caller (winner
+  // or not) still serializes on join_mu_ below, so concurrent Shutdown
+  // never races on the thread object and nobody returns before the poll
+  // thread is gone.
   bool expected = false;
-  if (!stopped_.compare_exchange_strong(expected, true)) {
-    if (loop_thread_.joinable()) loop_thread_.join();
-    return;
+  const bool winner = stopped_.compare_exchange_strong(expected, true);
+  if (!running_.load()) return;  // never started: nothing to drain
+  if (winner) {
+    draining_.store(true);
+    Wake();
   }
-  if (!running_.load()) return;
-  draining_.store(true);
-  Wake();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    util::MutexLock lock(join_mu_);
+    if (loop_thread_.joinable()) loop_thread_.join();
+  }
+  if (!winner) return;
 
   // Invalidate the wake pipe under the handle's lock so a pool worker
   // completing after this point writes nowhere instead of into a
   // recycled fd.
   int wfd = -1;
   {
-    std::lock_guard<std::mutex> lock(wake_->mu);
+    util::MutexLock lock(wake_->mu);
     wfd = wake_->write_fd;
     wake_->write_fd = -1;
   }
@@ -152,7 +168,7 @@ void TcpServer::Shutdown() {
 }
 
 void TcpServer::Wake() {
-  std::lock_guard<std::mutex> lock(wake_->mu);
+  util::MutexLock lock(wake_->mu);
   if (wake_->write_fd >= 0) {
     char b = 0;
     // A full pipe already guarantees a wake-up; ignore EAGAIN.
@@ -164,7 +180,7 @@ void TcpServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
                                 std::string line) {
   line.push_back('\n');
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     if (conn->closed) return;
     conn->outbox += line;
   }
@@ -174,7 +190,7 @@ void TcpServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
 }
 
 void TcpServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conn->mu);
+  util::MutexLock lock(conn->mu);
   while (!conn->closed && !conn->outbox.empty()) {
     ssize_t n = ::send(conn->fd, conn->outbox.data(), conn->outbox.size(),
                        MSG_NOSIGNAL);
@@ -195,7 +211,7 @@ void TcpServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
 void TcpServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   size_t dropped = 0;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     if (conn->closed) return;
     conn->closed = true;
     dropped = conn->in_flight;
@@ -256,7 +272,7 @@ void TcpServer::DispatchLines(const std::shared_ptr<Connection>& conn) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      util::MutexLock lock(conn->mu);
       ++conn->in_flight;
     }
     // The callback runs on a pool worker and may outlive the TcpServer:
@@ -271,7 +287,7 @@ void TcpServer::DispatchLines(const std::shared_ptr<Connection>& conn) {
           out.push_back('\n');
           bool dropped = false;
           {
-            std::lock_guard<std::mutex> lock(conn->mu);
+            util::MutexLock lock(conn->mu);
             --conn->in_flight;
             if (conn->closed) {
               dropped = true;
@@ -280,7 +296,7 @@ void TcpServer::DispatchLines(const std::shared_ptr<Connection>& conn) {
             }
           }
           if (dropped) metrics->AddCounter("tcp.responses_dropped", 1);
-          std::lock_guard<std::mutex> lock(wake->mu);
+          util::MutexLock lock(wake->mu);
           if (wake->write_fd >= 0) {
             char b = 0;
             [[maybe_unused]] ssize_t n = ::write(wake->write_fd, &b, 1);
@@ -296,7 +312,13 @@ void TcpServer::ReadFrom(const std::shared_ptr<Connection>& conn) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       metrics_->AddCounter("tcp.bytes_in", n);
-      conn->last_activity = Clock::now();
+      {
+        // A pool worker flushing this connection's outbox stamps
+        // last_activity concurrently, so the poll thread must take the
+        // lock too (TSan catches the unlocked variant).
+        util::MutexLock lock(conn->mu);
+        conn->last_activity = Clock::now();
+      }
       conn->framer.Feed(std::string_view(buf, static_cast<size_t>(n)));
       total += static_cast<size_t>(n);
       // Cap per-iteration reads so one fire-hose client cannot starve
@@ -349,7 +371,7 @@ void TcpServer::Loop() {
       short events = 0;
       if (!c->read_closed) events |= POLLIN;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        util::MutexLock lock(c->mu);
         if (!c->outbox.empty()) events |= POLLOUT;
       }
       fds.push_back({c->fd, events, 0});
@@ -395,7 +417,7 @@ void TcpServer::Loop() {
       bool done = false;
       bool idle = false;
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        util::MutexLock lock(conn->mu);
         if (conn->closed) continue;
         const bool quiescent = conn->in_flight == 0 && conn->outbox.empty();
         done = conn->read_closed && quiescent;
@@ -407,7 +429,7 @@ void TcpServer::Loop() {
     }
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const std::shared_ptr<Connection>& c) {
-                                  std::lock_guard<std::mutex> lock(c->mu);
+                                  util::MutexLock lock(c->mu);
                                   return c->closed;
                                 }),
                  conns_.end());

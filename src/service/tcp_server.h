@@ -11,6 +11,7 @@
 
 #include "service/server.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace schemex::service {
 
@@ -82,9 +83,10 @@ class TcpServer {
   /// Connections currently open (poll-thread snapshot, approximate).
   size_t open_connections() const { return open_connections_.load(); }
 
-  /// Graceful drain, then join the poll thread. Idempotent; safe to call
-  /// from any thread except the poll thread itself.
-  void Shutdown();
+  /// Graceful drain, then join the poll thread. Idempotent and safe to
+  /// call concurrently from any thread except the poll thread itself;
+  /// every caller returns only after the poll thread has exited.
+  void Shutdown() SCHEMEX_EXCLUDES(join_mu_);
 
  private:
   struct Connection;
@@ -121,7 +123,10 @@ class TcpServer {
   // Owned and touched by the poll thread only.
   std::vector<std::shared_ptr<Connection>> conns_;
 
-  std::thread loop_thread_;
+  /// Serializes concurrent Shutdown callers around the join, so the
+  /// loser never races the winner on loop_thread_.
+  util::Mutex join_mu_;
+  std::thread loop_thread_ SCHEMEX_GUARDED_BY(join_mu_);
 };
 
 }  // namespace schemex::service

@@ -65,9 +65,9 @@ graph::DataGraph RelabelAtomicEdges(
         // Refinement can merge two parallel edges (same label, same
         // target is impossible pre-refinement, so no collisions arise;
         // ignore AlreadyExists defensively anyway).
-        (void)out.AddEdge(o, e.other, relabel(e.label, e.other));
+        out.MergeEdge(o, e.other, relabel(e.label, e.other));
       } else {
-        (void)out.AddEdge(o, e.other, g.labels().Name(e.label));
+        out.MergeEdge(o, e.other, g.labels().Name(e.label));
       }
     }
   }

@@ -30,7 +30,12 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// Value type describing the outcome of an operation: either OK or an error
 /// code plus message. Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure, so every
+/// call site must consume it (check, return, or assert on it). The
+/// build treats discards as errors; there is no sanctioned (void)-cast
+/// escape hatch in src/ (tools/lint.py bans that spelling too).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

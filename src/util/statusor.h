@@ -14,8 +14,11 @@ namespace schemex::util {
 ///
 /// Accessing the value of a non-OK StatusOr is a programming error and
 /// asserts in debug builds.
+///
+/// [[nodiscard]] for the same reason as Status: discarding one loses
+/// both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. `status` must not be OK: an OK status
   /// with no value is meaningless and is converted to an Internal error.

@@ -1,0 +1,186 @@
+#ifndef SCHEMEX_UTIL_THREAD_ANNOTATIONS_H_
+#define SCHEMEX_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// Clang `-Wthread-safety` annotation macros plus capability-annotated
+// wrappers around the std locking primitives.
+//
+// The macros expand to Clang thread-safety attributes when the compiler
+// supports them and to nothing otherwise, so GCC builds see plain
+// std::mutex semantics while Clang statically checks the locking
+// discipline (see docs/static-analysis.md). Everything that locks in
+// src/ goes through `util::Mutex` / `util::SharedMutex` /
+// `util::MutexLock` — naked std primitives outside util/ are rejected
+// by `tools/lint.py` (rule: naked-mutex), because the analysis can only
+// see capabilities it has names for.
+//
+// Conventions:
+//  - data members:       `T x SCHEMEX_GUARDED_BY(mu_);`
+//  - private helpers:    `void F() SCHEMEX_REQUIRES(mu_);`
+//  - public entry points:`void G() SCHEMEX_EXCLUDES(mu_);`
+//  - lock ordering:      `SCHEMEX_ACQUIRED_AFTER(other_mu_)` on members.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SCHEMEX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCHEMEX_THREAD_ANNOTATION
+#define SCHEMEX_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define SCHEMEX_CAPABILITY(x) SCHEMEX_THREAD_ANNOTATION(capability(x))
+#define SCHEMEX_SCOPED_CAPABILITY SCHEMEX_THREAD_ANNOTATION(scoped_lockable)
+#define SCHEMEX_GUARDED_BY(x) SCHEMEX_THREAD_ANNOTATION(guarded_by(x))
+#define SCHEMEX_PT_GUARDED_BY(x) SCHEMEX_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SCHEMEX_ACQUIRED_BEFORE(...) \
+  SCHEMEX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SCHEMEX_ACQUIRED_AFTER(...) \
+  SCHEMEX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SCHEMEX_REQUIRES(...) \
+  SCHEMEX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCHEMEX_REQUIRES_SHARED(...) \
+  SCHEMEX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SCHEMEX_ACQUIRE(...) \
+  SCHEMEX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCHEMEX_ACQUIRE_SHARED(...) \
+  SCHEMEX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SCHEMEX_RELEASE(...) \
+  SCHEMEX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCHEMEX_RELEASE_SHARED(...) \
+  SCHEMEX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SCHEMEX_RELEASE_GENERIC(...) \
+  SCHEMEX_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define SCHEMEX_TRY_ACQUIRE(...) \
+  SCHEMEX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SCHEMEX_EXCLUDES(...) \
+  SCHEMEX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SCHEMEX_ASSERT_CAPABILITY(x) \
+  SCHEMEX_THREAD_ANNOTATION(assert_capability(x))
+#define SCHEMEX_RETURN_CAPABILITY(x) \
+  SCHEMEX_THREAD_ANNOTATION(lock_returned(x))
+
+namespace schemex::util {
+
+/// std::mutex with a named capability. Lock()/Unlock() carry the
+/// acquire/release attributes, so Clang verifies that every
+/// SCHEMEX_GUARDED_BY(mu_) access happens with mu_ held.
+class SCHEMEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SCHEMEX_ACQUIRE() { mu_.lock(); }
+  void Unlock() SCHEMEX_RELEASE() { mu_.unlock(); }
+  bool TryLock() SCHEMEX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings so CondVar (condition_variable_any) can
+  /// release/reacquire this mutex while waiting.
+  void lock() SCHEMEX_ACQUIRE() { mu_.lock(); }
+  void unlock() SCHEMEX_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with a named capability: exclusive writers,
+/// shared readers.
+class SCHEMEX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SCHEMEX_ACQUIRE() { mu_.lock(); }
+  void Unlock() SCHEMEX_RELEASE() { mu_.unlock(); }
+  void LockShared() SCHEMEX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SCHEMEX_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a util::Mutex (std::lock_guard shape).
+class SCHEMEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SCHEMEX_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SCHEMEX_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock on a util::SharedMutex.
+class SCHEMEX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SCHEMEX_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SCHEMEX_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a util::SharedMutex.
+class SCHEMEX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SCHEMEX_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() SCHEMEX_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. Wait() names the mutex it
+/// releases, so callers must already hold it — the analysis checks that.
+/// (condition_variable_any re-locks through Mutex's lowercase
+/// lock()/unlock(); those instantiations live in system headers, where
+/// the analysis is silent by design, not by suppression.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SCHEMEX_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) SCHEMEX_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+               Pred pred) SCHEMEX_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,25 +16,25 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::Submit after Shutdown");
     }
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // join_mu_ serializes concurrent Shutdown callers so both return only
   // after every worker has exited (thread::join on an already-joined
   // thread would be UB without the joinable() check + serialization).
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(join_mu_);
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -44,8 +44,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,7 +55,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -1,17 +1,17 @@
 #ifndef SCHEMEX_UTIL_THREAD_POOL_H_
 #define SCHEMEX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace schemex::util {
 
@@ -49,23 +49,26 @@ class ThreadPool {
 
   /// Stops admission, drains the queue, joins all workers. Idempotent and
   /// safe to call concurrently with Submit (the loser of the race throws).
-  void Shutdown();
+  void Shutdown() SCHEMEX_EXCLUDES(mu_, join_mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
   /// Tasks queued but not yet picked up by a worker (snapshot).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const SCHEMEX_EXCLUDES(mu_);
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) SCHEMEX_EXCLUDES(mu_);
+  void WorkerLoop() SCHEMEX_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::mutex join_mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  /// Serializes joiners; never nested inside mu_.
+  Mutex join_mu_ SCHEMEX_ACQUIRED_AFTER(mu_);
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SCHEMEX_GUARDED_BY(mu_);
+  // Sized once in the constructor before any concurrency; joined (not
+  // resized) under join_mu_ at shutdown, so num_threads() is lock-free.
   std::vector<std::thread> threads_;
-  bool stopping_ = false;
+  bool stopping_ SCHEMEX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace schemex::util

@@ -19,14 +19,14 @@ class Importer {
     }
     graph::ObjectId id = g_.AddComplex(e.tag);
     for (const auto& [key, value] : e.attributes) {
-      (void)g_.AddEdge(id, g_.AddAtomic(value), key);
+      g_.MergeEdge(id, g_.AddAtomic(value), key);
     }
     for (const auto& child : e.children) {
-      (void)g_.AddEdge(id, Import(*child), child->tag);
+      g_.MergeEdge(id, Import(*child), child->tag);
     }
     if (!e.text.empty()) {
-      (void)g_.AddEdge(id, g_.AddAtomic(e.text),
-                       std::string(options_.text_label));
+      g_.MergeEdge(id, g_.AddAtomic(e.text),
+                    std::string(options_.text_label));
     }
     return id;
   }

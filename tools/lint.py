@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""schemex repo lint: invariants clang-tidy cannot express.
+
+Rules (see docs/static-analysis.md for rationale and policy):
+
+  cc-include        No `#include` of a `.cc` file, anywhere.
+  naked-mutex       No `std::mutex` / `std::shared_mutex` /
+                    `std::condition_variable[_any]` / std lock guards
+                    outside `src/util/` — everything locks through the
+                    capability-annotated wrappers in
+                    `util/thread_annotations.h`, so Clang's
+                    -Wthread-safety analysis can see it. Applies to
+                    `src/` and `tools/` (tests may use std primitives
+                    for harness scaffolding).
+  detach            No `std::thread::detach()` in `src/` or `tools/`:
+                    every thread must be joined, or shutdown can race
+                    teardown.
+  sleep-sync        No `sleep_for` / `sleep_until` / `usleep` in `src/`:
+                    sleeping is not synchronization; use a CondVar,
+                    future, or poll() timeout.
+  discarded-status  A bare-expression call to a function declared (in a
+                    src/ header) to return util::Status or
+                    util::StatusOr must consume the result. The compiler
+                    enforces this via [[nodiscard]]; the lint also bans
+                    the `(void)` escape hatch so the build flag cannot
+                    be silenced call-site by call-site.
+  no-suppression    No thread-safety / TSan / lint suppression tokens in
+                    `src/`: NO_THREAD_SAFETY_ANALYSIS,
+                    no_sanitize("thread"), NOLINT without a rule name,
+                    or SCHEMEX_LINT_SKIP. The suppression budget for
+                    src/ is zero (docs/static-analysis.md).
+
+Usage:
+  lint.py [--root DIR] [FILE...]   lint the repo (or just FILE...)
+  exit 0 = clean, 1 = findings (one "path:line: [rule] message" per line)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterable, List, NamedTuple
+
+LINT_DIRS = ("src", "tools", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and // comments (keeps length)."""
+    out: List[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def relpath(path: str, root: str) -> str:
+    try:
+        return os.path.relpath(path, root)
+    except ValueError:
+        return path
+
+
+def in_dir(rel: str, *dirs: str) -> bool:
+    parts = rel.replace(os.sep, "/").split("/")
+    return bool(parts) and parts[0] in dirs
+
+
+# --- discarded-status support -------------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:util::|::schemex::util::|schemex::util::)?"
+    r"Status(?:Or<[^;=]*>)?\s+(?:[A-Za-z_]\w*::)*([A-Z]\w*)\s*\("
+)
+
+
+def collect_status_functions(root: str) -> set:
+    """Names of functions declared in src/ headers returning Status[Or]."""
+    names = set()
+    src = os.path.join(root, "src")
+    for dirpath, _, files in os.walk(src):
+        for f in files:
+            if not f.endswith((".h", ".hpp")):
+                continue
+            try:
+                text = open(os.path.join(dirpath, f), encoding="utf-8",
+                            errors="replace").read()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                m = STATUS_DECL_RE.match(line)
+                if m:
+                    names.add(m.group(1))
+    return names
+
+
+# A bare statement `Foo(...);` or `obj.Foo(...);` / `ptr->Foo(...);`
+# whose result vanishes. Requires the full call on one line (the common
+# case); multi-line discards are caught by the compiler's [[nodiscard]].
+def bare_call_re(name: str) -> re.Pattern:
+    return re.compile(
+        r"^\s*(?:\(void\)\s*)?(?:[A-Za-z_]\w*(?:::|\.|->))*" + name +
+        r"\s*\(.*\)\s*;\s*$"
+    )
+
+
+VOID_CAST_RE = re.compile(r"\(void\)\s*[A-Za-z_]")
+
+SUPPRESSION_TOKENS = (
+    "NO_THREAD_SAFETY_ANALYSIS",
+    "no_thread_safety_analysis",
+    'no_sanitize("thread")',
+    "no_sanitize_thread",
+    "SCHEMEX_LINT_SKIP",
+)
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+
+SLEEP_RE = re.compile(r"\b(?:sleep_for|sleep_until|usleep)\s*\(")
+
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+CC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<][^">]+\.cc[">]')
+
+NOLINT_BARE_RE = re.compile(r"//\s*NOLINT\s*($|[^(])")
+
+
+def lint_file(path: str, rel: str, status_fns: set,
+              status_res: dict) -> Iterable[Finding]:
+    try:
+        text = open(path, encoding="utf-8", errors="replace").read()
+    except OSError as e:
+        yield Finding(rel, 0, "io", f"cannot read: {e}")
+        return
+
+    rel_posix = rel.replace(os.sep, "/")
+    is_src = in_dir(rel, "src")
+    is_src_or_tools = in_dir(rel, "src", "tools")
+    is_util = rel_posix.startswith("src/util/")
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = strip_comments_and_strings(raw)
+
+        # Match against the raw line: the include path is a string
+        # literal, which strip_comments_and_strings blanks out.
+        if CC_INCLUDE_RE.match(raw):
+            yield Finding(rel, lineno, "cc-include",
+                          "#include of a .cc file")
+
+        if is_src_or_tools and not is_util:
+            if NAKED_MUTEX_RE.search(line):
+                yield Finding(
+                    rel, lineno, "naked-mutex",
+                    "naked std locking primitive outside src/util/; use "
+                    "util::Mutex / util::MutexLock / util::CondVar from "
+                    "util/thread_annotations.h")
+
+        if is_src_or_tools and DETACH_RE.search(line):
+            yield Finding(rel, lineno, "detach",
+                          "detached thread; join it instead")
+
+        if is_src and SLEEP_RE.search(line):
+            yield Finding(
+                rel, lineno, "sleep-sync",
+                "sleeping is not synchronization; wait on a CondVar, "
+                "future, or poll() timeout")
+
+        if is_src:
+            for token in SUPPRESSION_TOKENS:
+                if token in raw:
+                    yield Finding(
+                        rel, lineno, "no-suppression",
+                        f"suppression token {token!r} in src/ (policy: "
+                        "zero suppressions; fix the code instead)")
+            if NOLINT_BARE_RE.search(raw):
+                yield Finding(
+                    rel, lineno, "no-suppression",
+                    "bare NOLINT in src/; at minimum name the rule "
+                    "(NOLINT(<check>)) outside src/, fix the code inside")
+
+        if is_src_or_tools:
+            stripped = line.strip()
+            # A continuation line of a multi-line call or macro argument
+            # list (e.g. the second line of SCHEMEX_ASSIGN_OR_RETURN)
+            # has unbalanced parens; a genuine bare-statement call is
+            # balanced on its own line.
+            if stripped.count("(") != stripped.count(")"):
+                continue
+            for name in status_fns:
+                regex = status_res.setdefault(name, bare_call_re(name))
+                if regex.match(stripped):
+                    if stripped.startswith("(void)"):
+                        yield Finding(
+                            rel, lineno, "discarded-status",
+                            f"(void)-cast of Status-returning {name}(); "
+                            "handle or propagate the status")
+                    else:
+                        yield Finding(
+                            rel, lineno, "discarded-status",
+                            f"result of Status-returning {name}() is "
+                            "discarded")
+                    break
+
+
+def iter_repo_files(root: str) -> Iterable[str]:
+    for top in LINT_DIRS:
+        base = os.path.join(root, top)
+        for dirpath, dirnames, files in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for f in sorted(files):
+                if f.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, f)
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("files", nargs="*",
+                    help="specific files (default: whole repo)")
+    args = ap.parse_args(argv)
+
+    status_fns = collect_status_functions(args.root)
+    # Names whose bare call is legitimately common and whose result is a
+    # value, not a Status, in other scopes, would go here; currently the
+    # src/ headers produce no such collisions.
+    status_res: dict = {}
+
+    paths = args.files or list(iter_repo_files(args.root))
+    findings: List[Finding] = []
+    for path in paths:
+        rel = relpath(os.path.abspath(path), args.root)
+        findings.extend(lint_file(path, rel, status_fns, status_res))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,25 @@
+// Lint fixture: idiomatic code every rule must leave alone.
+#include "demo/violations.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+util::Mutex g_clean_mu;
+
+util::Status Use() {
+  util::MutexLock lock(g_clean_mu);
+  SCHEMEX_RETURN_IF_ERROR(DoWork());
+  auto answer = ComputeAnswer();
+  if (!answer.ok()) return answer.status();
+  return util::Status::OK();
+}
+
+// Multi-line macro arguments end mid-call; the discarded-status rule
+// must not mistake the continuation line for a bare call.
+util::Status MultiLine() {
+  SCHEMEX_RETURN_IF_ERROR(
+      DoWork());
+  return util::Status::OK();
+}
+
+}  // namespace demo

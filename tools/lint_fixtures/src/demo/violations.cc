@@ -1,0 +1,30 @@
+// Lint fixture: one deliberate violation per marked line. lint_test.py
+// asserts each rule fires exactly where expected.
+#include "demo/violations.cc"  // VIOLATION: cc-include
+
+#include <mutex>
+#include <thread>
+
+#include "demo/violations.h"
+
+namespace demo {
+
+std::mutex g_mu;  // VIOLATION: naked-mutex
+
+void Spin() {
+  std::thread t([] {});
+  t.detach();  // VIOLATION: detach
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // VIOLATION: sleep-sync
+}
+
+void Drop() {
+  DoWork();  // VIOLATION: discarded-status
+  (void)ComputeAnswer();  // VIOLATION: discarded-status ((void) escape hatch)
+}
+
+void Hidden() NO_THREAD_SAFETY_ANALYSIS {  // VIOLATION: no-suppression
+  int x = 0;  // NOLINT
+  (void)x;
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Lint fixture: declarations that feed the discarded-status rule.
+// This tree is copied into a temporary fake repo root by lint_test.py;
+// it is excluded from the real repo lint walk.
+#ifndef LINT_FIXTURES_SRC_DEMO_VIOLATIONS_H_
+#define LINT_FIXTURES_SRC_DEMO_VIOLATIONS_H_
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+util::Status DoWork();
+util::StatusOr<int> ComputeAnswer();
+
+}  // namespace demo
+
+#endif  // LINT_FIXTURES_SRC_DEMO_VIOLATIONS_H_

@@ -1,0 +1,9 @@
+// Lint fixture: src/util/ is the one place std primitives may appear —
+// it is where the annotated wrappers themselves live.
+#include <mutex>
+
+namespace util_fixture {
+
+std::mutex g_wrapper_internal_mu;  // allowed: under src/util/
+
+}  // namespace util_fixture

@@ -1,0 +1,14 @@
+// Lint fixture: tests/ may use std primitives for harness scaffolding
+// (gates, latches) and may sleep; only cc-include applies here.
+#include <mutex>
+#include <thread>
+
+namespace test_fixture {
+
+std::mutex g_test_mu;  // allowed: tests/
+
+void Pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // allowed
+}
+
+}  // namespace test_fixture

@@ -1,0 +1,16 @@
+// Lint fixture: tools/ shares the naked-mutex and detach rules with src/
+// (sleep-sync and no-suppression are src/-only).
+#include <mutex>
+#include <thread>
+
+namespace tool_fixture {
+
+std::mutex g_tool_mu;  // VIOLATION: naked-mutex (tools/ is covered)
+
+void Fire() {
+  std::thread t([] {});
+  t.detach();  // VIOLATION: detach
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // allowed here
+}
+
+}  // namespace tool_fixture

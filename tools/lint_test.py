@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint.py against the checked-in fixtures.
+
+Copies tools/lint_fixtures/ into a temporary fake repo root, runs
+lint.py --root over it as a subprocess (the same way CI and ctest run
+it), and asserts:
+
+  * every planted violation fires, with the right rule, file, and line;
+  * nothing else fires (clean fixtures and scope-exempt files stay
+    silent);
+  * the exit code is 1 with findings and 0 for a clean tree.
+
+Run directly or via `ctest -L lint`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(TOOLS_DIR, "lint.py")
+FIXTURES = os.path.join(TOOLS_DIR, "lint_fixtures")
+
+# (relative path, line, rule) — must match the VIOLATION markers in the
+# fixture files exactly. Update both together.
+EXPECTED = {
+    ("src/demo/violations.cc", 3, "cc-include"),
+    ("src/demo/violations.cc", 12, "naked-mutex"),
+    ("src/demo/violations.cc", 16, "detach"),
+    ("src/demo/violations.cc", 17, "sleep-sync"),
+    ("src/demo/violations.cc", 21, "discarded-status"),
+    ("src/demo/violations.cc", 22, "discarded-status"),
+    ("src/demo/violations.cc", 25, "no-suppression"),
+    ("src/demo/violations.cc", 26, "no-suppression"),
+    ("tools/tool_violation.cc", 8, "naked-mutex"),
+    ("tools/tool_violation.cc", 12, "detach"),
+}
+
+# Files that must produce zero findings despite containing tokens the
+# rules look for (scope exemptions and clean idiom).
+MUST_BE_SILENT = (
+    "src/demo/clean.cc",
+    "src/util/allowed.cc",
+    "tests/test_allowed.cc",
+)
+
+
+def run_lint(root: str):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        # path:line: [rule] message
+        head, _, rest = line.partition(": [")
+        rule = rest.split("]", 1)[0]
+        path, _, lineno = head.rpartition(":")
+        findings.add((path.replace(os.sep, "/"), int(lineno), rule))
+    return proc.returncode, findings, proc
+
+
+def fail(msg: str, proc) -> None:
+    sys.stderr.write(f"FAIL: {msg}\n")
+    sys.stderr.write("--- lint stdout ---\n" + proc.stdout)
+    sys.stderr.write("--- lint stderr ---\n" + proc.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    failures = 0
+
+    with tempfile.TemporaryDirectory(prefix="schemex_lint_test_") as tmp:
+        # Fixture tree with planted violations.
+        shutil.copytree(FIXTURES, tmp, dirs_exist_ok=True)
+        rc, findings, proc = run_lint(tmp)
+
+        if rc != 1:
+            fail(f"expected exit 1 on fixture tree, got {rc}", proc)
+        missing = EXPECTED - findings
+        if missing:
+            fail(f"planted violations did not fire: {sorted(missing)}", proc)
+        extra = findings - EXPECTED
+        if extra:
+            fail(f"unexpected findings: {sorted(extra)}", proc)
+        noisy = [f for f in findings if f[0] in MUST_BE_SILENT]
+        if noisy:
+            fail(f"findings in must-be-silent files: {sorted(noisy)}", proc)
+        print(f"fixture tree: all {len(EXPECTED)} planted violations "
+              "fired, nothing else")
+
+    with tempfile.TemporaryDirectory(prefix="schemex_lint_test_") as tmp:
+        # Clean tree: the same fixtures minus the violation files.
+        shutil.copytree(FIXTURES, tmp, dirs_exist_ok=True)
+        os.remove(os.path.join(tmp, "src", "demo", "violations.cc"))
+        os.remove(os.path.join(tmp, "tools", "tool_violation.cc"))
+        rc, findings, proc = run_lint(tmp)
+        if rc != 0 or findings:
+            fail(f"expected clean pass, got exit {rc}, "
+                 f"findings {sorted(findings)}", proc)
+        print("clean tree: exit 0, no findings")
+
+    if failures:
+        return 1
+    print("lint_test: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

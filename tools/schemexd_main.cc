@@ -33,9 +33,7 @@
 
 #include <cerrno>
 #include <csignal>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +46,7 @@
 #include "service/server.h"
 #include "service/tcp_server.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace {
 
@@ -84,12 +83,12 @@ void OnShutdownSignal(int /*sig*/) {
 /// is printed whole under a mutex as its worker finishes. in_flight gates
 /// shutdown so EOF waits for every outstanding response.
 int ServeStdio(Server& server) {
-  std::mutex io_mu;
-  std::condition_variable io_cv;
-  size_t in_flight = 0;
+  schemex::util::Mutex io_mu;
+  schemex::util::CondVar io_cv;
+  size_t in_flight = 0;  // guarded by io_mu
 
   auto print_response = [&](const Response& resp) {
-    std::lock_guard<std::mutex> lock(io_mu);
+    schemex::util::MutexLock lock(io_mu);
     std::fputs(schemex::service::SerializeResponse(resp).c_str(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);
@@ -116,20 +115,20 @@ int ServeStdio(Server& server) {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(io_mu);
+        schemex::util::MutexLock lock(io_mu);
         ++in_flight;
       }
       server.HandleAsync(*std::move(req), [&](Response resp) {
         print_response(resp);
-        std::lock_guard<std::mutex> lock(io_mu);
+        schemex::util::MutexLock lock(io_mu);
         --in_flight;
-        io_cv.notify_all();
+        io_cv.NotifyAll();
       });
     }
   }
 
-  std::unique_lock<std::mutex> lock(io_mu);
-  io_cv.wait(lock, [&] { return in_flight == 0; });
+  schemex::util::MutexLock lock(io_mu);
+  while (in_flight != 0) io_cv.Wait(io_mu);
   return 0;
 }
 
