@@ -1,0 +1,121 @@
+// Parallel Stage 1: sharded hash-refinement wall-clock vs the sequential
+// map-based reference at 1/2/4/8 worker threads on scaled DBG-style data.
+//
+// Emits one JSON row per measurement (machine-consumable, same schema as
+// `bench_scale --json`):
+//
+//   {"bench":"parallel_stage1","algo":"hash","objects":N,"edges":M,
+//    "threads":T,"stage1_ms":X,"speedup":S}
+//
+// "speedup" is sequential-reference-ms / this-row-ms, so the reference row
+// itself reports 1.0. Every hash-refinement run is verified bit-identical
+// (home vector AND typing program) to the reference before its row prints;
+// a mismatch exits 1. Wall-clock parallel speedup obviously requires the
+// machine to have cores — the row stream includes a "context" row with
+// hardware_concurrency so downstream plots can annotate single-core boxes.
+//
+// Flags:
+//   --smoke   5x DBG scale and 1 repetition (CI-sized); default is 25x
+//             and best-of-3.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gen/dbg.h"
+#include "gen/spec.h"
+#include "typing/perfect_typing.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace schemex;  // NOLINT
+
+struct Measurement {
+  double ms = 0;
+  typing::PerfectTypingResult result;
+};
+
+/// Best-of-reps wall clock; the returned result comes from the last run
+/// (all runs produce identical results by construction).
+template <typename Fn>
+Measurement Measure(int reps, Fn&& fn) {
+  Measurement m;
+  m.ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer t;
+    m.result = fn();
+    m.ms = std::min(m.ms, t.ElapsedMillis());
+  }
+  return m;
+}
+
+void PrintRow(const char* algo, size_t objects, size_t edges, size_t threads,
+              double ms, double seq_ms) {
+  std::printf(
+      "{\"bench\":\"parallel_stage1\",\"algo\":\"%s\",\"objects\":%zu,"
+      "\"edges\":%zu,\"threads\":%zu,\"stage1_ms\":%.3f,\"speedup\":%.3f}\n",
+      algo, objects, edges, threads, ms, ms > 0 ? seq_ms / ms : 0.0);
+}
+
+int Run(int scale, int reps) {
+  gen::DatasetSpec spec = gen::DbgSpec();
+  for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
+  auto g = gen::Generate(spec, 4242);
+  if (!g.ok()) {
+    std::fprintf(stderr, "generate: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "{\"bench\":\"parallel_stage1\",\"context\":true,\"scale\":%d,"
+      "\"objects\":%zu,\"edges\":%zu,\"hardware_concurrency\":%u}\n",
+      scale, g->NumObjects(), g->NumEdges(),
+      std::thread::hardware_concurrency());
+
+  // Sequential map-based reference: the baseline every speedup is
+  // relative to, and the oracle every parallel run is checked against.
+  Measurement ref = Measure(
+      reps, [&] { return *typing::PerfectTypingViaRefinement(*g); });
+  PrintRow("refinement_map", g->NumObjects(), g->NumEdges(), 1, ref.ms,
+           ref.ms);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // One pool across the reps so thread spin-up is not billed to the
+    // algorithm (matches how the extractor owns its pool per request).
+    util::PoolRef pool(nullptr, threads);
+    typing::ExecOptions exec;
+    exec.num_threads = threads;
+    exec.pool = pool.get();
+    Measurement m = Measure(reps, [&] {
+      return *typing::PerfectTypingViaHashRefinement(*g, exec);
+    });
+    if (m.result.home != ref.result.home ||
+        m.result.program != ref.result.program) {
+      std::fprintf(stderr,
+                   "FAIL: hash refinement at %zu threads diverged from the "
+                   "sequential reference\n",
+                   threads);
+      return 1;
+    }
+    PrintRow("hash", g->NumObjects(), g->NumEdges(), threads, m.ms, ref.ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return Run(smoke ? 5 : 25, smoke ? 1 : 3);
+}

@@ -4,9 +4,17 @@
 // objects. Stage 1 uses partition refinement (the scalable algorithm);
 // clustering cost depends on the Stage-1 type count, not the object
 // count, which is the method's point.
+//
+// Flags:
+//   --json    emit one machine-consumable JSON row per measurement
+//             (same schema as bench_parallel) instead of tables
+//   --smoke   scales {1, 5} only and skip the large Stage-1-only section
+//             (CI-sized)
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "cluster/greedy.h"
 #include "gen/dbg.h"
@@ -22,14 +30,25 @@ namespace {
 
 using namespace schemex;  // NOLINT
 
-int Run() {
-  std::cout << "== Pipeline scalability (DBG-style data, refinement Stage 1) "
-               "==\n";
+void PrintJsonRow(size_t objects, size_t edges, double stage1_ms) {
+  std::printf(
+      "{\"bench\":\"scale\",\"algo\":\"refinement_map\",\"objects\":%zu,"
+      "\"edges\":%zu,\"threads\":1,\"stage1_ms\":%.3f,\"speedup\":1.000}\n",
+      objects, edges, stage1_ms);
+}
+
+int Run(bool json, bool smoke) {
+  if (!json) {
+    std::cout << "== Pipeline scalability (DBG-style data, refinement Stage "
+                 "1) ==\n";
+  }
   util::TablePrinter table;
   table.SetHeader({"scale", "objects", "links", "stage1 (ms)",
                    "stage1 types", "cluster->6 (ms)", "recast+defect (ms)",
                    "total (ms)", "defect"});
-  for (int scale : {1, 5, 25}) {
+  std::vector<int> scales = smoke ? std::vector<int>{1, 5}
+                                  : std::vector<int>{1, 5, 25};
+  for (int scale : scales) {
     gen::DatasetSpec spec = gen::DbgSpec();
     for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
     auto g = gen::Generate(spec, 4242);
@@ -60,47 +79,77 @@ int Run() {
                                         recast->assignment);
     double recast_ms = t3.ElapsedMillis();
 
-    table.AddRow({util::StringPrintf("%dx", scale),
-                  util::StringPrintf("%zu", g->NumObjects()),
-                  util::StringPrintf("%zu", g->NumEdges()),
-                  util::StringPrintf("%.1f", stage1_ms),
-                  util::StringPrintf("%zu", stage1->program.NumTypes()),
-                  util::StringPrintf("%.1f", cluster_ms),
-                  util::StringPrintf("%.1f", recast_ms),
-                  util::StringPrintf("%.1f", total.ElapsedMillis()),
-                  util::StringPrintf("%zu", defect.defect())});
+    if (json) {
+      PrintJsonRow(g->NumObjects(), g->NumEdges(), stage1_ms);
+    } else {
+      table.AddRow({util::StringPrintf("%dx", scale),
+                    util::StringPrintf("%zu", g->NumObjects()),
+                    util::StringPrintf("%zu", g->NumEdges()),
+                    util::StringPrintf("%.1f", stage1_ms),
+                    util::StringPrintf("%zu", stage1->program.NumTypes()),
+                    util::StringPrintf("%.1f", cluster_ms),
+                    util::StringPrintf("%.1f", recast_ms),
+                    util::StringPrintf("%.1f", total.ElapsedMillis()),
+                    util::StringPrintf("%zu", defect.defect())});
+    }
   }
-  table.Print(std::cout);
+  if (!json) table.Print(std::cout);
 
   // Stage 1 alone keeps scaling far past where the O(T^2..3) clustering
   // becomes the bottleneck (T = stage-1 type count, which grows with the
   // data's irregularity).
-  util::TablePrinter big;
-  big.SetHeader({"scale", "objects", "links", "stage1 (ms)", "stage1 types"});
-  for (int scale : {100, 500}) {
-    gen::DatasetSpec spec = gen::DbgSpec();
-    for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
-    auto g = gen::Generate(spec, 4242);
-    if (!g.ok()) return 1;
-    util::WallTimer t1;
-    auto stage1 = typing::PerfectTypingViaRefinement(*g);
-    big.AddRow({util::StringPrintf("%dx", scale),
-                util::StringPrintf("%zu", g->NumObjects()),
-                util::StringPrintf("%zu", g->NumEdges()),
-                util::StringPrintf("%.1f", t1.ElapsedMillis()),
-                util::StringPrintf("%zu", stage1->program.NumTypes())});
+  if (!smoke) {
+    util::TablePrinter big;
+    big.SetHeader(
+        {"scale", "objects", "links", "stage1 (ms)", "stage1 types"});
+    for (int scale : {100, 500}) {
+      gen::DatasetSpec spec = gen::DbgSpec();
+      for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
+      auto g = gen::Generate(spec, 4242);
+      if (!g.ok()) return 1;
+      util::WallTimer t1;
+      auto stage1 = typing::PerfectTypingViaRefinement(*g);
+      double stage1_ms = t1.ElapsedMillis();
+      if (json) {
+        PrintJsonRow(g->NumObjects(), g->NumEdges(), stage1_ms);
+      } else {
+        big.AddRow({util::StringPrintf("%dx", scale),
+                    util::StringPrintf("%zu", g->NumObjects()),
+                    util::StringPrintf("%zu", g->NumEdges()),
+                    util::StringPrintf("%.1f", stage1_ms),
+                    util::StringPrintf("%zu", stage1->program.NumTypes())});
+      }
+    }
+    if (!json) {
+      std::cout << "\n-- Stage 1 only, larger scales --\n";
+      big.Print(std::cout);
+    }
   }
-  std::cout << "\n-- Stage 1 only, larger scales --\n";
-  big.Print(std::cout);
 
-  std::cout << "\nReading: Stage 1 scales near-linearly in edges; Stage 2 "
-               "depends on the Stage-1 TYPE count\n(which grows with "
-               "irregularity, not raw size); the defect grows linearly "
-               "with the data since\nthe same fraction of objects misses "
-               "the same optional links.\n";
+  if (!json) {
+    std::cout << "\nReading: Stage 1 scales near-linearly in edges; Stage 2 "
+                 "depends on the Stage-1 TYPE count\n(which grows with "
+                 "irregularity, not raw size); the defect grows linearly "
+                 "with the data since\nthe same fraction of objects misses "
+                 "the same optional links.\n";
+  }
   return 0;
 }
 
 }  // namespace
 
-int main() { return Run(); }
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  return Run(json, smoke);
+}

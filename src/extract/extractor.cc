@@ -1,13 +1,48 @@
 #include "extract/extractor.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
+
+#include "util/parallel_for.h"
+#include "util/timer.h"
 
 namespace schemex::extract {
 
 namespace {
 
 using typing::TypeId;
+
+/// Effective Stage-1 worker count. 0 (auto) takes the hardware
+/// concurrency, moderated so each worker gets a few thousand complex
+/// objects — below that a pool costs more than it saves.
+size_t ResolveParallelism(size_t requested, size_t num_complex) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_t by_size = std::max<size_t>(1, num_complex / 4096);
+  return std::min(hw, by_size);
+}
+
+/// Stage 1 with the options' algorithm, parallelism, and cancellation.
+/// parallelism == 1 routes refinement to the sequential reference
+/// implementation (the baseline the hash path is pinned against); every
+/// other setting uses the hash-refinement engine.
+util::StatusOr<typing::PerfectTypingResult> RunStage1(
+    const ExtractorOptions& options, graph::GraphView g,
+    util::ThreadPool* pool, size_t threads) {
+  typing::ExecOptions exec;
+  exec.num_threads = threads;
+  exec.pool = pool;
+  exec.check_cancel = options.check_cancel;
+  if (options.stage1 == ExtractorOptions::Stage1Algorithm::kGfp) {
+    return typing::PerfectTypingViaGfp(g, exec);
+  }
+  if (options.parallelism == 1) {
+    return typing::PerfectTypingViaRefinement(g);
+  }
+  return typing::PerfectTypingViaHashRefinement(g, exec);
+}
 
 /// Stage-1 (or roles) home sets + weights for clustering.
 struct PreClusterState {
@@ -69,14 +104,19 @@ util::Status Poll(const std::function<util::Status()>& check_cancel) {
 util::StatusOr<ExtractionResult> SchemaExtractor::Run(
     graph::GraphView g) const {
   ExtractionResult result;
+  util::WallTimer total_timer;
+
+  // One pool for the whole run (Stage 1 shards its hashing and GFP phases
+  // on it); nullptr when the resolved parallelism is 1.
+  size_t threads =
+      ResolveParallelism(options_.parallelism, g.NumComplexObjects());
+  util::PoolRef pool(nullptr, threads);
 
   // Stage 1.
-  if (options_.stage1 == ExtractorOptions::Stage1Algorithm::kGfp) {
-    SCHEMEX_ASSIGN_OR_RETURN(result.perfect, typing::PerfectTypingViaGfp(g));
-  } else {
-    SCHEMEX_ASSIGN_OR_RETURN(result.perfect,
-                             typing::PerfectTypingViaRefinement(g));
-  }
+  util::WallTimer stage_timer;
+  SCHEMEX_ASSIGN_OR_RETURN(result.perfect,
+                           RunStage1(options_, g, pool.get(), threads));
+  result.timings.stage1_ms = stage_timer.ElapsedMillis();
   result.num_perfect_types = result.perfect.program.NumTypes();
   SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
 
@@ -84,6 +124,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
       options_, result.perfect, &result.roles, &result.roles_applied);
 
   // Stage 2.
+  stage_timer.Restart();
   if (options_.target_num_types > 0 &&
       options_.target_num_types < state.program.NumTypes()) {
     cluster::ClusteringOptions copt;
@@ -97,6 +138,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
     result.final_program = result.clustering.final_program;
     result.final_homes = MapHomesThrough(state.homes,
                                          result.clustering.final_map);
+    result.timings.cluster_ms = stage_timer.ElapsedMillis();
   } else {
     result.final_program = state.program;
     result.final_homes = state.homes;
@@ -105,6 +147,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
   SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
 
   // Stage 3.
+  stage_timer.Restart();
   SCHEMEX_ASSIGN_OR_RETURN(
       result.recast,
       typing::Recast(result.final_program, g, result.final_homes,
@@ -112,6 +155,8 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
 
   result.defect =
       typing::ComputeDefect(result.final_program, g, result.recast.assignment);
+  result.timings.recast_ms = stage_timer.ElapsedMillis();
+  result.timings.total_ms = total_timer.ElapsedMillis();
   return result;
 }
 
@@ -119,12 +164,11 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
     graph::GraphView g, const ExtractorOptions& options,
     size_t min_k) {
   // Stage 1 once.
+  size_t threads =
+      ResolveParallelism(options.parallelism, g.NumComplexObjects());
+  util::PoolRef pool(nullptr, threads);
   typing::PerfectTypingResult perfect;
-  if (options.stage1 == ExtractorOptions::Stage1Algorithm::kGfp) {
-    SCHEMEX_ASSIGN_OR_RETURN(perfect, typing::PerfectTypingViaGfp(g));
-  } else {
-    SCHEMEX_ASSIGN_OR_RETURN(perfect, typing::PerfectTypingViaRefinement(g));
-  }
+  SCHEMEX_ASSIGN_OR_RETURN(perfect, RunStage1(options, g, pool.get(), threads));
   SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
   typing::RoleDecomposition roles;
   bool roles_applied = false;

@@ -23,6 +23,13 @@ struct ExtractorOptions {
   };
   Stage1Algorithm stage1 = Stage1Algorithm::kRefinement;
 
+  /// Stage-1 / GFP worker parallelism. 0 = auto (hardware concurrency,
+  /// moderated by the graph's size so tiny inputs stay inline); 1 = the
+  /// sequential reference implementations; N > 1 = shard across exactly N
+  /// workers (a transient pool per Run call). Every setting produces
+  /// bit-identical typings — the knob only trades wall-clock for cores.
+  size_t parallelism = 0;
+
   /// Run the multiple-roles pass (§4.2) between Stages 1 and 2.
   bool decompose_roles = false;
 
@@ -41,10 +48,22 @@ struct ExtractorOptions {
   typing::RecastOptions recast;
 
   /// Cooperative cancellation hook, polled at every stage boundary
-  /// (after Stage 1, after Stage 2, and between sweep snapshots). Return
-  /// a non-OK status — typically DeadlineExceeded — to abort the
-  /// pipeline; the status is propagated verbatim. Null = never cancel.
+  /// (after Stage 1, after Stage 2, and between sweep snapshots) and
+  /// *inside* Stage 1 (between refinement rounds, between GFP phases, and
+  /// every few thousand GFP worklist pops), so long extracts abort
+  /// mid-stage. Return a non-OK status — typically DeadlineExceeded — to
+  /// abort the pipeline; the status is propagated verbatim. Null = never
+  /// cancel.
   std::function<util::Status()> check_cancel;
+};
+
+/// Per-stage wall-clock of one extraction, for benchmarks and the
+/// service's extract.stage1_ms-style histograms.
+struct StageTimings {
+  double stage1_ms = 0;  ///< perfect typing (refinement or GFP)
+  double cluster_ms = 0; ///< Stage 2 (0 when clustering was skipped)
+  double recast_ms = 0;  ///< Stage 3 + defect measurement
+  double total_ms = 0;
 };
 
 /// Everything the pipeline produced, including intermediates for
@@ -78,6 +97,9 @@ struct ExtractionResult {
 
   size_t num_perfect_types = 0;
   size_t num_final_types = 0;
+
+  /// Wall-clock spent in each stage of this run.
+  StageTimings timings;
 };
 
 /// Orchestrates Stage 1 -> (roles) -> Stage 2 -> Stage 3 -> defect.

@@ -167,6 +167,8 @@ util::StatusOr<Request> ParseRequest(const json::Value& v) {
             "stage1 must be \"refinement\" or \"gfp\"");
       }
       SCHEMEX_RETURN_IF_ERROR(
+          params.GetUint("parallelism", &req.extract.parallelism));
+      SCHEMEX_RETURN_IF_ERROR(
           params.GetString("save_dir", &req.extract.save_dir));
       break;
     case Verb::kType:

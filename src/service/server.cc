@@ -258,6 +258,9 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
                    ? extract::ExtractorOptions::Stage1Algorithm::kGfp
                    : extract::ExtractorOptions::Stage1Algorithm::kRefinement;
   opt.decompose_roles = p.decompose_roles;
+  opt.parallelism =
+      p.parallelism != 0 ? static_cast<size_t>(p.parallelism)
+                         : options_.default_parallelism;
   opt.check_cancel = DeadlineHook(deadline);
 
   // k == 0 = automatic: sweep the k axis and take the §8 knee within the
@@ -309,6 +312,22 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
     r["fallback"] = JsonUint(result.recast.num_fallback);
     r["untyped"] = JsonUint(result.recast.num_untyped);
     f["recast"] = Value::Object(std::move(r));
+  }
+  {
+    // Per-stage wall time, echoed in the response and folded into
+    // per-stage histograms (extract.stage1, ...) surfaced via `stats`.
+    std::map<std::string, Value> t;
+    t["stage1_ms"] = Value::Number(result.timings.stage1_ms);
+    t["cluster_ms"] = Value::Number(result.timings.cluster_ms);
+    t["recast_ms"] = Value::Number(result.timings.recast_ms);
+    t["total_ms"] = Value::Number(result.timings.total_ms);
+    f["timings"] = Value::Object(std::move(t));
+    metrics_.Record("extract.stage1", result.timings.stage1_ms,
+                    /*ok=*/true, /*timeout=*/false);
+    metrics_.Record("extract.cluster", result.timings.cluster_ms,
+                    /*ok=*/true, /*timeout=*/false);
+    metrics_.Record("extract.recast", result.timings.recast_ms,
+                    /*ok=*/true, /*timeout=*/false);
   }
   if (!p.save_dir.empty()) f["saved_to"] = Value::String(p.save_dir);
 

@@ -1,0 +1,47 @@
+#ifndef SCHEMEX_TYPING_EXEC_OPTIONS_H_
+#define SCHEMEX_TYPING_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace schemex::typing {
+
+/// Execution knobs shared by the Stage-1 algorithms and the GFP engine.
+/// The defaults run everything inline on the caller with no cancellation —
+/// exactly the pre-parallel behaviour. Every algorithm taking ExecOptions
+/// guarantees a result bit-identical to its sequential run for any thread
+/// count (sharded phases only compute per-object values; block/type ids
+/// are always assigned by a deterministic sequential reduce).
+struct ExecOptions {
+  /// Worker count for sharded phases; <= 1 runs inline. When `pool` is
+  /// set, the pool's size wins and this field is ignored.
+  size_t num_threads = 1;
+
+  /// Optional externally owned pool, sized to the desired parallelism.
+  /// When null and num_threads > 1, the algorithm spins up a transient
+  /// pool for the duration of one call.
+  util::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation: polled between refinement rounds, between
+  /// GFP phases, and every few thousand worklist pops. Return non-OK
+  /// (typically DeadlineExceeded) to abort; the status propagates
+  /// verbatim. Null = never cancel.
+  std::function<util::Status()> check_cancel;
+
+  /// Test-only: collapse every refinement signature hash to one bucket so
+  /// the exact collision-verification fallback carries the whole
+  /// partition. The result must not change.
+  bool debug_force_hash_collisions = false;
+
+  /// Polls check_cancel if set.
+  util::Status Poll() const {
+    return check_cancel ? check_cancel() : util::Status::OK();
+  }
+};
+
+}  // namespace schemex::typing
+
+#endif  // SCHEMEX_TYPING_EXEC_OPTIONS_H_

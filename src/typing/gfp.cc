@@ -2,24 +2,74 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <span>
 #include <utility>
+#include <vector>
+
+#include "util/parallel_for.h"
 
 namespace schemex::typing {
 
 namespace {
 
-/// Key describing what a typed link consumes: (direction, label, target
-/// type). When an object leaves `target`'s extent, every neighbor across a
-/// matching edge may lose its justification for any type whose signature
-/// contains this key.
-struct DependencyKey {
-  Direction dir;
-  graph::LabelId label;
-  TypeId target;
+/// Encodes what a typed link consumes — (direction, label, target type) —
+/// into one comparable word. When an object leaves `target`'s extent,
+/// every neighbor across a matching edge may lose its justification for
+/// any type whose signature contains this key. Layout (injective for
+/// label < 2^31, target >= 0):
+///   [63:33] label   [32] direction   [31:0] target
+inline uint64_t EncodeDependencyKey(Direction dir, graph::LabelId label,
+                                    TypeId target) {
+  return (static_cast<uint64_t>(label) << 33) |
+         (static_cast<uint64_t>(dir == Direction::kOutgoing ? 1 : 0) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(target));
+}
 
-  friend auto operator<=>(const DependencyKey&, const DependencyKey&) =
-      default;
+/// Flat sorted dependency index: dependents of key k are the TypeIds in
+/// types[offsets[i]..offsets[i+1]) where keys[i] == k. Replaces the
+/// std::map<DependencyKey, vector<TypeId>> of the original implementation
+/// — one binary search over a contiguous array per lookup, no node
+/// allocations.
+struct DependencyIndex {
+  std::vector<uint64_t> keys;      // sorted, unique
+  std::vector<uint32_t> offsets;   // size keys.size() + 1
+  std::vector<TypeId> types;       // grouped by key, TypeId ascending
+
+  static DependencyIndex Build(const TypingProgram& program) {
+    std::vector<std::pair<uint64_t, TypeId>> pairs;
+    for (size_t t = 0; t < program.NumTypes(); ++t) {
+      for (const TypedLink& l :
+           program.type(static_cast<TypeId>(t)).signature.links()) {
+        if (l.target == kAtomicType) continue;  // atomic extents never shrink
+        pairs.emplace_back(EncodeDependencyKey(l.dir, l.label, l.target),
+                           static_cast<TypeId>(t));
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+    DependencyIndex index;
+    index.keys.reserve(pairs.size());
+    index.types.reserve(pairs.size());
+    for (const auto& [key, type] : pairs) {
+      if (index.keys.empty() || index.keys.back() != key) {
+        index.keys.push_back(key);
+        index.offsets.push_back(static_cast<uint32_t>(index.types.size()));
+      }
+      index.types.push_back(type);
+    }
+    index.offsets.push_back(static_cast<uint32_t>(index.types.size()));
+    return index;
+  }
+
+  std::span<const TypeId> Lookup(Direction dir, graph::LabelId label,
+                                 TypeId target) const {
+    uint64_t key = EncodeDependencyKey(dir, label, target);
+    auto it = std::lower_bound(keys.begin(), keys.end(), key);
+    if (it == keys.end() || *it != key) return {};
+    size_t i = static_cast<size_t>(it - keys.begin());
+    return {types.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
 };
 
 }  // namespace
@@ -53,77 +103,125 @@ bool SatisfiesSignature(const TypeSignature& sig, graph::GraphView g,
 
 util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
                                    graph::GraphView g,
-                                   GfpStats* stats) {
+                                   GfpStats* stats,
+                                   const ExecOptions& options) {
   SCHEMEX_RETURN_IF_ERROR(program.Validate());
   const size_t n = g.NumObjects();
   const size_t num_types = program.NumTypes();
+
+  util::PoolRef pool(options.pool, options.num_threads);
 
   Extents m;
   m.per_type.assign(num_types, util::DenseBitset(n));
 
   // --- Step 1: label/direction prefilter. -------------------------------
   // For each complex object, collect its out- and in-label sets once, then
-  // test every type's label requirements against them.
+  // test every type's label requirements against them. Sharded over
+  // word-aligned object ranges: workers set bits of disjoint 64-bit words
+  // in every extent, so the phase is race-free and the resulting bitsets
+  // are identical for any thread count.
   GfpStats local_stats;
-  std::vector<graph::LabelId> out_labels, in_labels;
-  for (graph::ObjectId o = 0; o < n; ++o) {
-    if (!g.IsComplex(o)) continue;
-    out_labels.clear();
-    in_labels.clear();
-    // Track which labels also reach an atomic object (for ->l^0 checks).
-    std::vector<graph::LabelId> out_atomic_labels;
-    for (const graph::HalfEdge& e : g.OutEdges(o)) {
-      out_labels.push_back(e.label);
-      if (g.IsAtomic(e.other)) out_atomic_labels.push_back(e.label);
-    }
-    for (const graph::HalfEdge& e : g.InEdges(o)) in_labels.push_back(e.label);
-    auto uniq = [](std::vector<graph::LabelId>& v) {
-      std::sort(v.begin(), v.end());
-      v.erase(std::unique(v.begin(), v.end()), v.end());
-    };
-    uniq(out_labels);
-    uniq(in_labels);
-    uniq(out_atomic_labels);
-    auto has = [](const std::vector<graph::LabelId>& v, graph::LabelId l) {
-      return std::binary_search(v.begin(), v.end(), l);
-    };
-    for (size_t t = 0; t < num_types; ++t) {
-      bool candidate = true;
-      for (const TypedLink& l :
-           program.type(static_cast<TypeId>(t)).signature.links()) {
-        bool present =
-            l.dir == Direction::kOutgoing
-                ? (l.target == kAtomicType ? has(out_atomic_labels, l.label)
-                                           : has(out_labels, l.label))
-                : has(in_labels, l.label);
-        if (!present) {
-          candidate = false;
-          break;
+  {
+    auto shards = util::ShardRanges(n, pool.num_threads(), /*align=*/64);
+    std::vector<size_t> shard_candidates(shards.size(), 0);
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      std::vector<graph::LabelId> out_labels, in_labels, out_atomic_labels;
+      size_t candidates = 0;
+      for (graph::ObjectId o = static_cast<graph::ObjectId>(shards[s].first);
+           o < shards[s].second; ++o) {
+        if (!g.IsComplex(o)) continue;
+        out_labels.clear();
+        in_labels.clear();
+        // Track which labels also reach an atomic object (for ->l^0).
+        out_atomic_labels.clear();
+        for (const graph::HalfEdge& e : g.OutEdges(o)) {
+          out_labels.push_back(e.label);
+          if (g.IsAtomic(e.other)) out_atomic_labels.push_back(e.label);
+        }
+        for (const graph::HalfEdge& e : g.InEdges(o)) {
+          in_labels.push_back(e.label);
+        }
+        auto uniq = [](std::vector<graph::LabelId>& v) {
+          std::sort(v.begin(), v.end());
+          v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        uniq(out_labels);
+        uniq(in_labels);
+        uniq(out_atomic_labels);
+        auto has = [](const std::vector<graph::LabelId>& v,
+                      graph::LabelId l) {
+          return std::binary_search(v.begin(), v.end(), l);
+        };
+        for (size_t t = 0; t < num_types; ++t) {
+          bool candidate = true;
+          for (const TypedLink& l :
+               program.type(static_cast<TypeId>(t)).signature.links()) {
+            bool present =
+                l.dir == Direction::kOutgoing
+                    ? (l.target == kAtomicType ? has(out_atomic_labels, l.label)
+                                               : has(out_labels, l.label))
+                    : has(in_labels, l.label);
+            if (!present) {
+              candidate = false;
+              break;
+            }
+          }
+          if (candidate) {
+            m.per_type[t].Set(o);
+            ++candidates;
+          }
         }
       }
-      if (candidate) {
-        m.per_type[t].Set(o);
-        ++local_stats.initial_candidates;
+      shard_candidates[s] = candidates;
+    });
+    for (size_t c : shard_candidates) local_stats.initial_candidates += c;
+  }
+  SCHEMEX_RETURN_IF_ERROR(options.Poll());
+
+  // --- Step 2: worklist refinement. --------------------------------------
+  DependencyIndex dependents = DependencyIndex::Build(program);
+
+  // Initial full check of every candidate pair, sharded over type ranges.
+  // Workers only read the prefiltered extents and record failures locally;
+  // the removals are applied (and the worklist seeded) sequentially in
+  // (type, object) order afterwards. A pair that passes here but loses its
+  // justification once the removals land is caught by worklist
+  // propagation, so the fixpoint — which is unique — is unchanged.
+  std::deque<std::pair<graph::ObjectId, TypeId>> work;
+  {
+    auto shards = util::ShardRanges(num_types, pool.num_threads());
+    std::vector<std::vector<std::pair<graph::ObjectId, TypeId>>> failed(
+        shards.size());
+    std::vector<size_t> shard_rechecks(shards.size(), 0);
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      size_t rechecks = 0;
+      for (size_t t = shards[s].first; t < shards[s].second; ++t) {
+        const TypeSignature& sig =
+            program.type(static_cast<TypeId>(t)).signature;
+        m.per_type[t].ForEach([&](size_t o) {
+          ++rechecks;
+          if (!SatisfiesSignature(sig, g, m,
+                                  static_cast<graph::ObjectId>(o))) {
+            failed[s].emplace_back(static_cast<graph::ObjectId>(o),
+                                   static_cast<TypeId>(t));
+          }
+        });
+      }
+      shard_rechecks[s] = rechecks;
+    });
+    for (size_t s = 0; s < shards.size(); ++s) {
+      local_stats.rechecks += shard_rechecks[s];
+      // Removing members only makes signatures harder to satisfy, so every
+      // recorded failure still fails after earlier removals: clear directly.
+      for (auto [o, t] : failed[s]) {
+        m.per_type[static_cast<size_t>(t)].Clear(o);
+        ++local_stats.removed;
+        work.emplace_back(o, t);
       }
     }
   }
+  SCHEMEX_RETURN_IF_ERROR(options.Poll());
 
-  // --- Step 2: worklist refinement. --------------------------------------
-  // dependents[(dir, label, target)] = types whose signatures contain that
-  // typed link. Note the key's direction is as seen by the *dependent*
-  // object, so when x leaves `target` we walk x's edges in the opposite
-  // direction to find dependents.
-  std::map<DependencyKey, std::vector<TypeId>> dependents;
-  for (size_t t = 0; t < num_types; ++t) {
-    for (const TypedLink& l :
-         program.type(static_cast<TypeId>(t)).signature.links()) {
-      if (l.target == kAtomicType) continue;  // atomic extents never shrink
-      dependents[DependencyKey{l.dir, l.label, l.target}].push_back(
-          static_cast<TypeId>(t));
-    }
-  }
-
-  std::deque<std::pair<graph::ObjectId, TypeId>> work;
   auto recheck = [&](graph::ObjectId o, TypeId t) {
     if (!m.per_type[static_cast<size_t>(t)].Test(o)) return;
     ++local_stats.rechecks;
@@ -134,31 +232,28 @@ util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
     }
   };
 
-  // Initial full check of every candidate pair.
-  for (size_t t = 0; t < num_types; ++t) {
-    std::vector<graph::ObjectId> members;
-    m.per_type[t].ForEach(
-        [&](size_t o) { members.push_back(static_cast<graph::ObjectId>(o)); });
-    for (graph::ObjectId o : members) recheck(o, static_cast<TypeId>(t));
-  }
-
+  size_t pops = 0;
   while (!work.empty()) {
+    if (options.check_cancel && pops % kGfpCancelPollInterval == 0) {
+      SCHEMEX_RETURN_IF_ERROR(options.check_cancel());
+    }
+    ++pops;
     auto [x, t_lost] = work.front();
     work.pop_front();
     // x left t_lost. A neighbor o with an OUTGOING l-edge to x depended on
     // key (kOutgoing, l, t_lost); a neighbor with an INCOMING l-edge from x
     // depended on key (kIncoming, l, t_lost).
     for (const graph::HalfEdge& e : g.InEdges(x)) {
-      auto it =
-          dependents.find(DependencyKey{Direction::kOutgoing, e.label, t_lost});
-      if (it == dependents.end()) continue;
-      for (TypeId t : it->second) recheck(e.other, t);
+      for (TypeId t :
+           dependents.Lookup(Direction::kOutgoing, e.label, t_lost)) {
+        recheck(e.other, t);
+      }
     }
     for (const graph::HalfEdge& e : g.OutEdges(x)) {
-      auto it =
-          dependents.find(DependencyKey{Direction::kIncoming, e.label, t_lost});
-      if (it == dependents.end()) continue;
-      for (TypeId t : it->second) recheck(e.other, t);
+      for (TypeId t :
+           dependents.Lookup(Direction::kIncoming, e.label, t_lost)) {
+        recheck(e.other, t);
+      }
     }
   }
 

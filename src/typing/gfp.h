@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph_view.h"
+#include "typing/exec_options.h"
 #include "typing/typing_program.h"
 #include "util/bitset.h"
 #include "util/statusor.h"
@@ -44,9 +45,20 @@ struct GfpStats {
 /// Semantically identical to datalog::Evaluate(kGreatest) on
 /// program.ToDatalog() (asserted by tests), but typically orders of
 /// magnitude faster on perfect-typing candidate programs.
+///
+/// `options` shards the prefilter (over word-aligned object ranges) and
+/// the initial full-recheck sweep (over type ranges) across workers; the
+/// worklist stays sequential. The greatest fixpoint is unique, so the
+/// extents are identical for every thread count. options.check_cancel is
+/// polled between phases and every kGfpCancelPollInterval worklist pops.
 util::StatusOr<Extents> ComputeGfp(const TypingProgram& program,
                                    graph::GraphView g,
-                                   GfpStats* stats = nullptr);
+                                   GfpStats* stats = nullptr,
+                                   const ExecOptions& options = {});
+
+/// How often (in worklist pops) ComputeGfp polls check_cancel; the first
+/// pop always polls, so cancellation fires even on short worklists.
+inline constexpr size_t kGfpCancelPollInterval = 1024;
 
 /// True iff object `o` satisfies every typed link of `sig` under extents
 /// `m` (atomic targets checked against g's atomic objects).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
+#include "util/parallel_for.h"
 #include "util/string_util.h"
 
 namespace schemex::typing {
@@ -58,6 +60,38 @@ PerfectTypingResult AssembleResult(graph::GraphView g,
   return result;
 }
 
+// --- Hash refinement internals. -------------------------------------------
+
+/// Injective encoding of one local-picture link over block ids:
+///   [63:33] label (31 bits)   [32] direction   [31:0] target block + 1
+/// target is kAtomicType (-1, encoding to 0) or a block id; block ids are
+/// TypeIds < 2^31, so target + 1 always fits 32 bits. Injectivity needs
+/// label < 2^31, guarded at the entry point.
+inline uint64_t EncodeLink(Direction dir, graph::LabelId label,
+                           TypeId target) {
+  return (static_cast<uint64_t>(label) << 33) |
+         (static_cast<uint64_t>(dir == Direction::kOutgoing ? 1 : 0) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(target + 1));
+}
+
+/// splitmix64 finalizer — the per-round signature hash folds the previous
+/// block id and every canonical link through this mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-worker state for one shard of complex objects, reused across
+/// rounds so steady-state rounds allocate nothing.
+struct RefinementShard {
+  size_t begin = 0;  ///< range [begin, end) of complex-object indices
+  size_t end = 0;
+  std::vector<uint64_t> arena;   ///< canonical encodings, back to back
+  std::vector<uint64_t> scratch; ///< one object's links, sorted + deduped
+};
+
 }  // namespace
 
 size_t PerfectTypingResult::NumComplexObjects() const {
@@ -69,7 +103,7 @@ size_t PerfectTypingResult::NumComplexObjects() const {
 }
 
 util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
-    graph::GraphView g) {
+    graph::GraphView g, const ExecOptions& options) {
   const size_t n = g.NumObjects();
 
   // Candidate ids: dense over complex objects; candidates double as type
@@ -88,28 +122,34 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
   for (graph::ObjectId o : complex_objects) {
     qd.AddType(util::StringPrintf("cand%u", o), LocalPicture(g, o, candidate));
   }
+  SCHEMEX_RETURN_IF_ERROR(options.Poll());
 
   // Step 2: greatest fixpoint of Q_D.
-  SCHEMEX_ASSIGN_OR_RETURN(Extents m, ComputeGfp(qd, g));
+  SCHEMEX_ASSIGN_OR_RETURN(Extents m, ComputeGfp(qd, g, nullptr, options));
 
-  // Step 3: group candidate types by extent equality. Hash the extents to
-  // buckets, then confirm equality exactly within buckets.
+  // Step 3: group candidate types by extent equality. Hash and popcount
+  // every extent once up front; within a hash bucket, candidates compare
+  // popcounts before falling back to full word-level equality (which
+  // itself stops at the first differing word).
+  const size_t num_cand = complex_objects.size();
+  std::vector<uint64_t> extent_hash(num_cand);
+  std::vector<size_t> extent_count(num_cand);
+  for (size_t t = 0; t < num_cand; ++t) {
+    extent_hash[t] = m.per_type[t].Hash();
+    extent_count[t] = m.per_type[t].Count();
+  }
   std::unordered_map<uint64_t, std::vector<TypeId>> buckets;
-  auto extent_hash = [&](TypeId t) {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    m.per_type[static_cast<size_t>(t)].ForEach([&](size_t o) {
-      h = (h ^ (o + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
-    });
-    return h;
-  };
-  std::vector<TypeId> class_of_candidate(complex_objects.size(),
-                                         kInvalidType);
+  buckets.reserve(num_cand);
+  std::vector<TypeId> class_of_candidate(num_cand, kInvalidType);
   size_t num_classes = 0;
-  for (size_t t = 0; t < complex_objects.size(); ++t) {
+  for (size_t t = 0; t < num_cand; ++t) {
     TypeId tid = static_cast<TypeId>(t);
-    uint64_t h = extent_hash(tid);
     TypeId found = kInvalidType;
-    for (TypeId other : buckets[h]) {
+    std::vector<TypeId>& bucket = buckets[extent_hash[t]];
+    for (TypeId other : bucket) {
+      if (extent_count[static_cast<size_t>(other)] != extent_count[t]) {
+        continue;
+      }
       if (m.per_type[static_cast<size_t>(other)] ==
           m.per_type[static_cast<size_t>(tid)]) {
         found = class_of_candidate[static_cast<size_t>(other)];
@@ -118,7 +158,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
     }
     if (found == kInvalidType) {
       found = static_cast<TypeId>(num_classes++);
-      buckets[h].push_back(tid);
+      bucket.push_back(tid);
     }
     class_of_candidate[t] = found;
   }
@@ -162,6 +202,138 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
     }
     size_t next_count = next_id.size();
     block = std::move(next_block);
+    if (next_count == num_blocks) break;
+    num_blocks = next_count;
+  }
+  return AssembleResult(g, block, num_blocks, "type");
+}
+
+util::StatusOr<PerfectTypingResult> PerfectTypingViaHashRefinement(
+    graph::GraphView g, const ExecOptions& options) {
+  if (g.labels().size() >= (1ULL << 31)) {
+    // The 64-bit link encoding reserves 31 bits for the label; beyond that
+    // the packing is no longer injective, so fall back to the exact
+    // reference path rather than risk an unsound partition.
+    return PerfectTypingViaRefinement(g);
+  }
+
+  const size_t n = g.NumObjects();
+  std::vector<TypeId> block(n, kInvalidType);
+  std::vector<graph::ObjectId> complex_objects;
+  for (graph::ObjectId o = 0; o < n; ++o) {
+    if (g.IsComplex(o)) {
+      block[o] = 0;
+      complex_objects.push_back(o);
+    }
+  }
+  const size_t num_complex = complex_objects.size();
+  size_t num_blocks = num_complex == 0 ? 0 : 1;
+
+  util::PoolRef pool(options.pool, options.num_threads);
+  auto ranges = util::ShardRanges(num_complex, pool.num_threads());
+  std::vector<RefinementShard> shards(ranges.size());
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    shards[s].begin = ranges[s].first;
+    shards[s].end = ranges[s].second;
+  }
+
+  // Per complex-object index: this round's signature hash and the span of
+  // its canonical encoding inside its shard's arena. `shard_of` maps an
+  // index back to its shard so the reduce can locate any object's span.
+  std::vector<uint64_t> hash(num_complex);
+  std::vector<size_t> span_off(num_complex);
+  std::vector<uint32_t> span_len(num_complex);
+  std::vector<uint32_t> shard_of(num_complex);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      shard_of[i] = static_cast<uint32_t>(s);
+    }
+  }
+
+  std::vector<TypeId> next_block(n, kInvalidType);
+  /// Blocks discovered this round, bucketed by hash. Each entry remembers
+  /// one representative object index whose (previous block, canonical
+  /// encoding) defines the block, for exact comparison on bucket hits.
+  struct BlockEntry {
+    uint32_t rep;  ///< complex-object index
+    TypeId id;
+  };
+  std::unordered_map<uint64_t, std::vector<BlockEntry>> table;
+
+  // Iterate: split blocks by (previous block, local picture over previous
+  // blocks), same monotone progress measure as the reference path. Each
+  // round: a sharded hashing phase (read-only over the graph and `block`,
+  // writing disjoint slices of the per-index arrays), then a sequential
+  // reduce assigning block ids by first occurrence in object order —
+  // exactly the numbering std::map::try_emplace produced in the reference
+  // implementation, and independent of the thread count.
+  for (;;) {
+    SCHEMEX_RETURN_IF_ERROR(options.Poll());
+    if (num_complex == 0) break;
+
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      RefinementShard& shard = shards[s];
+      shard.arena.clear();
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        graph::ObjectId o = complex_objects[i];
+        std::vector<uint64_t>& scratch = shard.scratch;
+        scratch.clear();
+        for (const graph::HalfEdge& e : g.OutEdges(o)) {
+          scratch.push_back(EncodeLink(
+              Direction::kOutgoing, e.label,
+              g.IsAtomic(e.other) ? kAtomicType : block[e.other]));
+        }
+        for (const graph::HalfEdge& e : g.InEdges(o)) {
+          scratch.push_back(
+              EncodeLink(Direction::kIncoming, e.label, block[e.other]));
+        }
+        // Canonical form: the local picture is a *set* of typed links, so
+        // sort and dedupe — the moral equivalent of TypeSignature's
+        // normalization, on a reused flat buffer.
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+
+        uint64_t h = Mix64(static_cast<uint64_t>(
+            static_cast<uint32_t>(block[o])));
+        for (uint64_t v : scratch) h = Mix64(h ^ v);
+        hash[i] = options.debug_force_hash_collisions ? 0 : h;
+        span_off[i] = shard.arena.size();
+        span_len[i] = static_cast<uint32_t>(scratch.size());
+        shard.arena.insert(shard.arena.end(), scratch.begin(), scratch.end());
+      }
+    });
+
+    // Sequential reduce: deterministic block numbering + exact collision
+    // verification. Two objects share a block iff their previous blocks
+    // match AND their canonical encodings are identical — the hash only
+    // routes to a bucket, it is never trusted for equality.
+    table.clear();
+    size_t next_count = 0;
+    auto same_key = [&](uint32_t a, uint32_t b) {
+      if (block[complex_objects[a]] != block[complex_objects[b]]) return false;
+      if (span_len[a] != span_len[b]) return false;
+      const uint64_t* pa = shards[shard_of[a]].arena.data() + span_off[a];
+      const uint64_t* pb = shards[shard_of[b]].arena.data() + span_off[b];
+      return std::equal(pa, pa + span_len[a], pb);
+    };
+    for (size_t i = 0; i < num_complex; ++i) {
+      std::vector<BlockEntry>& bucket = table[hash[i]];
+      TypeId found = kInvalidType;
+      for (const BlockEntry& entry : bucket) {
+        if (same_key(entry.rep, static_cast<uint32_t>(i))) {
+          found = entry.id;
+          break;
+        }
+      }
+      if (found == kInvalidType) {
+        found = static_cast<TypeId>(next_count++);
+        bucket.push_back(BlockEntry{static_cast<uint32_t>(i), found});
+      }
+      next_block[complex_objects[i]] = found;
+    }
+
+    std::swap(block, next_block);
     if (next_count == num_blocks) break;
     num_blocks = next_count;
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph_view.h"
+#include "typing/exec_options.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -35,9 +36,11 @@ struct PerfectTypingResult {
 ///     one representative rule per equivalence class.
 ///
 /// Exact but O(N^2)-ish; intended for small/medium databases and as the
-/// reference the refinement algorithm is tested against.
+/// reference the refinement algorithm is tested against. `options`
+/// parallelizes the GFP engine underneath and threads cancellation
+/// through it; the result is identical for every setting.
 util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
-    graph::GraphView g);
+    graph::GraphView g, const ExecOptions& options = {});
 
 /// Scalable Stage 1 via partition refinement (the bisimulation-style
 /// computation of §4.1 "Computational Efficiency"): start with one block
@@ -47,8 +50,32 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
 /// pictures up to the partition — the same partition PerfectTypingViaGfp
 /// computes on databases where extent-equality coincides with local-
 /// picture-equality (verified against the GFP method in tests).
+///
+/// This is the sequential reference implementation (one TypeSignature +
+/// ordered-map key per object per round); production paths use
+/// PerfectTypingViaHashRefinement, which is pinned bit-identical to it.
 util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
     graph::GraphView g);
+
+/// Allocation-lean, optionally parallel partition refinement. Computes
+/// exactly the partition (and block numbering, and program) of
+/// PerfectTypingViaRefinement:
+///
+///  - Per round, each complex object's local picture is folded into a
+///    64-bit hash combined with its previous block id — no TypeSignature
+///    or std::map node is materialized. The canonical sorted/deduplicated
+///    link encoding is kept in a per-shard arena, so hash-bucket
+///    collisions are resolved by comparing the encodings exactly: the
+///    partition is the exact coarsest full bisimulation regardless of
+///    hash quality (options.debug_force_hash_collisions pins this).
+///  - Per-object hashing is sharded across options.pool / num_threads
+///    workers over the read-only graph; block ids are then assigned by a
+///    sequential reduce in object order, so the result is bit-identical
+///    for any thread count.
+///  - options.check_cancel is polled between rounds, making long extracts
+///    cancellable mid-Stage-1.
+util::StatusOr<PerfectTypingResult> PerfectTypingViaHashRefinement(
+    graph::GraphView g, const ExecOptions& options = {});
 
 /// Convenience: extents of the result program under GFP semantics. Because
 /// typing rules have no negation, extents may overlap and strictly contain

@@ -67,6 +67,17 @@ class DenseBitset {
     return a.n_ == b.n_ && a.words_ == b.words_;
   }
 
+  /// Content hash over the word array (the tail is kept trimmed, so equal
+  /// bitsets hash equal). Used to bucket extents before exact comparison.
+  uint64_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL ^ n_;
+    for (uint64_t w : words_) {
+      h = (h ^ w) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
   /// Calls `fn(index)` for every set bit in increasing order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -9,27 +9,43 @@
 //       response as it arrives (completion order — correlate by "id"),
 //       exit 0 only if every response was ok.
 //
+//   schemexctl --connect HOST:PORT --extract WORKSPACE
+//       build and send one extract request without hand-writing JSON.
+//       Extract flags: --k N (target type count; 0 = auto knee),
+//       --stage1 refinement|gfp, --parallelism N (0 = server default,
+//       1 = sequential reference path), --save-dir DIR.
+//
 // Flags:
 //   --timeout S   per-response wait budget in seconds (default 30)
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 
+#include "json/json.h"
 #include "service/framer.h"
 #include "service/tcp_client.h"
 #include "util/string_util.h"
 
 namespace {
 
+using schemex::json::Value;
 using schemex::service::TcpClient;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --connect HOST:PORT ('<json-request>' | --stdin)\n"
-               "          [--timeout S]\n",
+               "usage: %s --connect HOST:PORT\n"
+               "          ('<json-request>' | --stdin | --extract WORKSPACE)\n"
+               "          [--timeout S] [--k N] [--stage1 refinement|gfp]\n"
+               "          [--parallelism N] [--save-dir DIR]\n",
                argv0);
   return 2;
+}
+
+/// Integer-preserving JSON number (same trick as service::JsonUint).
+Value JsonUint(uint64_t n) {
+  return Value::Number(static_cast<double>(n), std::to_string(n));
 }
 
 bool ResponseOk(const std::string& line) {
@@ -43,6 +59,11 @@ int main(int argc, char** argv) {
   std::string request;
   bool from_stdin = false;
   double timeout_s = 30.0;
+  std::string extract_workspace;
+  uint64_t extract_k = 0;
+  std::string extract_stage1;
+  uint64_t extract_parallelism = 0;
+  std::string extract_save_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -61,11 +82,59 @@ int main(int argc, char** argv) {
           timeout_s <= 0) {
         return Usage(argv[0]);
       }
+    } else if (arg == "--extract") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      extract_workspace = v;
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr || !schemex::util::ParseUint64(v, &extract_k)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--stage1") {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::string(v) != "refinement" && std::string(v) != "gfp")) {
+        return Usage(argv[0]);
+      }
+      extract_stage1 = v;
+    } else if (arg == "--parallelism") {
+      const char* v = next();
+      if (v == nullptr ||
+          !schemex::util::ParseUint64(v, &extract_parallelism)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--save-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      extract_save_dir = v;
     } else if (!arg.empty() && arg[0] != '-' && request.empty()) {
       request = arg;
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (!extract_workspace.empty()) {
+    if (from_stdin || !request.empty()) return Usage(argv[0]);
+    // Build the extract request here so shell callers never hand-write
+    // JSON (and workspace names are escaped properly).
+    std::map<std::string, Value> params;
+    params["workspace"] = Value::String(extract_workspace);
+    params["k"] = JsonUint(extract_k);
+    if (!extract_stage1.empty()) {
+      params["stage1"] = Value::String(extract_stage1);
+    }
+    if (extract_parallelism != 0) {
+      params["parallelism"] = JsonUint(extract_parallelism);
+    }
+    if (!extract_save_dir.empty()) {
+      params["save_dir"] = Value::String(extract_save_dir);
+    }
+    std::map<std::string, Value> top;
+    top["id"] = JsonUint(1);
+    top["verb"] = Value::String("extract");
+    top["params"] = Value::Object(std::move(params));
+    request = schemex::json::Serialize(Value::Object(std::move(top)));
   }
   if (endpoint.empty() || from_stdin == !request.empty()) {
     return Usage(argv[0]);
