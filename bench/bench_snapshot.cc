@@ -1,0 +1,178 @@
+// Snapshot load latency vs the text loader: how long until a workspace
+// is servable after process start. The snapshot's claim is "no per-edge
+// parsing" — mapping the CSR directly must beat re-parsing graph.sxg by
+// an order of magnitude, and the raw encoding must load without heap
+// growth proportional to the graph.
+//
+// Measures, per DBG scale:
+//   text_ms      catalog::LoadWorkspace via graph.sxg (snapshot removed)
+//   snap_ms      catalog::LoadWorkspace via snapshot.bin
+//   map_ms       bare snapshot::Map (no schema/assignment/validation I/O)
+//   file sizes   graph.sxg vs snapshot.bin vs compact snapshot.bin
+//   heap bytes   FrozenGraph::MemoryUsage() after each load path
+//
+// Flags:
+//   --json    one machine-consumable JSON row per scale
+//   --smoke   scales {1, 5} only (CI-sized; `ctest -L bench-smoke`)
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "catalog/workspace.h"
+#include "gen/dbg.h"
+#include "gen/spec.h"
+#include "snapshot/snapshot.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace schemex;  // NOLINT
+
+namespace fs = std::filesystem;
+
+uint64_t FileBytes(const fs::path& p) {
+  std::error_code ec;
+  auto n = fs::file_size(p, ec);
+  return ec ? 0 : static_cast<uint64_t>(n);
+}
+
+/// Best-of-N wall time for `fn` (loads are I/O-ish; min is the stable
+/// statistic once the page cache is warm, which is the serving-relevant
+/// regime — both paths read warm files).
+template <typename Fn>
+double BestMillis(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    util::WallTimer t;
+    fn();
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
+}
+
+int Run(bool json, bool smoke) {
+  if (!json) {
+    std::cout << "== Workspace load: text parse vs binary snapshot ==\n";
+  }
+  util::TablePrinter table;
+  table.SetHeader({"scale", "objects", "edges", "text (ms)", "snap (ms)",
+                   "map (ms)", "speedup", "sxg (KB)", "snap (KB)",
+                   "compact (KB)", "heap text (KB)", "heap snap (KB)"});
+
+  std::vector<int> scales = smoke ? std::vector<int>{1, 5}
+                                  : std::vector<int>{1, 5, 25, 100};
+  const int reps = smoke ? 3 : 5;
+  bool speedup_ok = true;
+
+  for (int scale : scales) {
+    gen::DatasetSpec spec = gen::DbgSpec();
+    for (auto& t : spec.types) t.count *= static_cast<size_t>(scale);
+    auto g = gen::Generate(spec, 4242);
+    if (!g.ok()) return 1;
+
+    fs::path dir = fs::temp_directory_path() /
+                   util::StringPrintf("schemex_bench_snap_%d_%d",
+                                      static_cast<int>(::getpid()), scale);
+    fs::remove_all(dir);
+    catalog::Workspace ws;
+    ws.SetGraph(*g);
+    ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
+    if (!catalog::SaveWorkspace(ws, dir.string()).ok()) return 1;
+
+    snapshot::WriteOptions compact;
+    compact.compact = true;
+    if (!snapshot::Write(*ws.graph, (dir / "compact.bin").string(), compact)
+             .ok()) {
+      return 1;
+    }
+
+    const std::string snap_path = (dir / "snapshot.bin").string();
+    size_t heap_text = 0, heap_snap = 0;
+
+    // Text path: hide the snapshot so LoadWorkspace parses graph.sxg.
+    fs::rename(dir / "snapshot.bin", dir / "snapshot.hidden");
+    double text_ms = BestMillis(reps, [&] {
+      auto back = catalog::LoadWorkspace(dir.string());
+      heap_text = back.ok() ? (*back).graph->MemoryUsage() : 0;
+    });
+    fs::rename(dir / "snapshot.hidden", dir / "snapshot.bin");
+
+    double snap_ms = BestMillis(reps, [&] {
+      catalog::LoadInfo info;
+      auto back = catalog::LoadWorkspace(dir.string(), &info);
+      heap_snap =
+          back.ok() && info.from_snapshot ? (*back).graph->MemoryUsage() : 0;
+    });
+    double map_ms = BestMillis(reps, [&] {
+      auto mapped = snapshot::Map(snap_path);
+      if (!mapped.ok()) std::abort();
+    });
+
+    double speedup = snap_ms > 0 ? text_ms / snap_ms : 0;
+    if (speedup < 10.0) speedup_ok = false;
+
+    uint64_t sxg_b = FileBytes(dir / "graph.sxg");
+    uint64_t snap_b = FileBytes(dir / "snapshot.bin");
+    uint64_t compact_b = FileBytes(dir / "compact.bin");
+
+    if (json) {
+      std::printf(
+          "{\"bench\":\"snapshot\",\"scale\":%d,\"objects\":%zu,"
+          "\"edges\":%zu,\"text_ms\":%.3f,\"snapshot_ms\":%.3f,"
+          "\"map_ms\":%.3f,\"speedup\":%.1f,\"sxg_bytes\":%llu,"
+          "\"snapshot_bytes\":%llu,\"compact_bytes\":%llu,"
+          "\"heap_text_bytes\":%zu,\"heap_snapshot_bytes\":%zu}\n",
+          scale, g->NumObjects(), g->NumEdges(), text_ms, snap_ms, map_ms,
+          speedup, static_cast<unsigned long long>(sxg_b),
+          static_cast<unsigned long long>(snap_b),
+          static_cast<unsigned long long>(compact_b), heap_text, heap_snap);
+    } else {
+      table.AddRow({util::StringPrintf("%dx", scale),
+                    util::StringPrintf("%zu", g->NumObjects()),
+                    util::StringPrintf("%zu", g->NumEdges()),
+                    util::StringPrintf("%.2f", text_ms),
+                    util::StringPrintf("%.2f", snap_ms),
+                    util::StringPrintf("%.3f", map_ms),
+                    util::StringPrintf("%.0fx", speedup),
+                    util::StringPrintf("%llu",
+                                       static_cast<unsigned long long>(
+                                           sxg_b / 1024)),
+                    util::StringPrintf("%llu",
+                                       static_cast<unsigned long long>(
+                                           snap_b / 1024)),
+                    util::StringPrintf("%llu",
+                                       static_cast<unsigned long long>(
+                                           compact_b / 1024)),
+                    util::StringPrintf("%zu", heap_text / 1024),
+                    util::StringPrintf("%zu", heap_snap / 1024)});
+    }
+    fs::remove_all(dir);
+  }
+  if (!json) {
+    table.Print(std::cout);
+    std::cout << (speedup_ok
+                      ? "snapshot load >= 10x faster than text at every "
+                        "scale\n"
+                      : "WARNING: snapshot speedup fell below 10x\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return Run(json, smoke);
+}

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "graph/graph_io.h"
+#include "snapshot/snapshot.h"
 #include "typing/program_io.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
@@ -58,6 +59,13 @@ util::StatusOr<std::string> ReadFile(const fs::path& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+// Prefixes the file name onto a parser error ("graph.sxg: line 7: bad
+// edge"), so a multi-file load failure pinpoints which file to fix.
+util::Status InFile(const char* file, const util::Status& s) {
+  if (s.ok()) return s;
+  return util::Status(s.code(), std::string(file) + ": " + s.message());
 }
 
 std::string AssignmentToTsv(const typing::TypeAssignment& tau) {
@@ -154,33 +162,93 @@ util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
       typing::WriteTypingProgram(ws.program, ws.graph->labels())));
   SCHEMEX_RETURN_IF_ERROR(WriteFileAtomic(fs::path(dir) / "assignment.tsv",
                                           AssignmentToTsv(ws.assignment)));
+  // The binary snapshot goes last so the text files it shadows are
+  // already in place; snapshot::Write has its own tmp+rename step.
+  SCHEMEX_RETURN_IF_ERROR(
+      snapshot::Write(*ws.graph, (fs::path(dir) / "snapshot.bin").string()));
   return util::Status::OK();
 }
 
-util::StatusOr<Workspace> LoadWorkspace(const std::string& dir) {
+namespace {
+
+// The snapshot load path: map snapshot.bin zero-copy, then parse the
+// schema against the snapshot's own label table. The table was frozen
+// at save time with every schema label already interned, so growth here
+// means schema.dl was edited to use labels the snapshot lacks — the
+// caller falls back to the text path, which can intern them.
+util::StatusOr<Workspace> LoadWorkspaceFromSnapshot(const fs::path& dir) {
+  Workspace ws;
+  SCHEMEX_ASSIGN_OR_RETURN(ws.graph,
+                           snapshot::Map((dir / "snapshot.bin").string()));
+  auto schema_text = ReadFile(dir / "schema.dl");
+  if (schema_text.ok()) {
+    graph::LabelInterner labels = ws.graph->labels();
+    auto program = typing::ReadTypingProgram(*schema_text, &labels);
+    if (!program.ok()) return InFile("schema.dl", program.status());
+    if (labels.size() != ws.graph->labels().size()) {
+      return util::Status::FailedPrecondition(
+          "schema.dl references labels absent from snapshot.bin (snapshot "
+          "is stale)");
+    }
+    ws.program = std::move(*program);
+  }
+  auto tsv = ReadFile(dir / "assignment.tsv");
+  if (tsv.ok()) {
+    auto tau = AssignmentFromTsv(*tsv, ws.graph->NumObjects());
+    if (!tau.ok()) return tau.status();
+    ws.assignment = std::move(*tau);
+  } else {
+    ws.assignment = typing::TypeAssignment(ws.graph->NumObjects());
+  }
+  SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  return ws;
+}
+
+}  // namespace
+
+util::StatusOr<Workspace> LoadWorkspace(const std::string& dir,
+                                        LoadInfo* info) {
+  LoadInfo local;
+  if (info == nullptr) info = &local;
+  *info = LoadInfo{};
+
+  if (fs::exists(fs::path(dir) / "snapshot.bin")) {
+    auto ws = LoadWorkspaceFromSnapshot(dir);
+    if (ws.ok()) {
+      info->from_snapshot = true;
+      return ws;
+    }
+    // Corrupt or stale snapshot: record why and fall through to the
+    // text files, which remain the durable source of truth.
+    info->snapshot_status = ws.status();
+  } else {
+    info->snapshot_status =
+        util::Status::NotFound("no snapshot.bin in " + dir);
+  }
+
   Workspace ws;
   SCHEMEX_ASSIGN_OR_RETURN(std::string graph_text,
                            ReadFile(fs::path(dir) / "graph.sxg"));
   // The mutable graph lives only for the duration of the load: the
   // schema is parsed against its label table (interning any labels the
   // graph itself never uses), and the result is frozen exactly once.
-  SCHEMEX_ASSIGN_OR_RETURN(graph::DataGraph loaded,
-                           graph::ReadGraph(graph_text));
+  auto loaded = graph::ReadGraph(graph_text);
+  if (!loaded.ok()) return InFile("graph.sxg", loaded.status());
 
   auto schema_text = ReadFile(fs::path(dir) / "schema.dl");
   if (schema_text.ok()) {
-    SCHEMEX_ASSIGN_OR_RETURN(
-        ws.program,
-        typing::ReadTypingProgram(*schema_text, &loaded.labels()));
+    auto program = typing::ReadTypingProgram(*schema_text, &loaded->labels());
+    if (!program.ok()) return InFile("schema.dl", program.status());
+    ws.program = std::move(*program);
   }
   auto tsv = ReadFile(fs::path(dir) / "assignment.tsv");
   if (tsv.ok()) {
     SCHEMEX_ASSIGN_OR_RETURN(
-        ws.assignment, AssignmentFromTsv(*tsv, loaded.NumObjects()));
+        ws.assignment, AssignmentFromTsv(*tsv, loaded->NumObjects()));
   } else {
-    ws.assignment = typing::TypeAssignment(loaded.NumObjects());
+    ws.assignment = typing::TypeAssignment(loaded->NumObjects());
   }
-  ws.graph = graph::Freeze(loaded);
+  ws.graph = graph::Freeze(*loaded);
   SCHEMEX_RETURN_IF_ERROR(ws.Validate());
   return ws;
 }

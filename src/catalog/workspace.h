@@ -40,20 +40,40 @@ struct Workspace {
 ///   <dir>/graph.sxg        graph text format (graph/graph_io.h)
 ///   <dir>/schema.dl        datalog text (typing/program_io.h)
 ///   <dir>/assignment.tsv   "<object-id>\t<type-id>[,<type-id>...]" rows
+///   <dir>/snapshot.bin     binary graph snapshot (docs/snapshot.md)
 /// The directory is created if missing; existing files are overwritten.
 ///
 /// Each file is written to "<file>.tmp" and renamed into place, so a
 /// concurrent LoadWorkspace never reads a partially written file. A
-/// reader interleaving between the three renames can still pair files
-/// from different generations; LoadWorkspace's Validate() turns that
-/// into a clean error (retryable) rather than silent corruption.
+/// reader interleaving between the renames can still pair files from
+/// different generations; LoadWorkspace's Validate() turns that into a
+/// clean error (retryable) rather than silent corruption.
 util::Status SaveWorkspace(const Workspace& ws, const std::string& dir);
+
+/// How LoadWorkspace obtained the graph, for callers that surface it
+/// (the service's load_workspace response, the snapshot CLI).
+struct LoadInfo {
+  /// True when the graph came from mapping <dir>/snapshot.bin.
+  bool from_snapshot = false;
+  /// Why the snapshot path was not taken: NotFound when there is no
+  /// snapshot.bin, the Map/parse error when one exists but was rejected
+  /// (corruption, stale label table). OK iff from_snapshot.
+  util::Status snapshot_status = util::Status::OK();
+};
 
 /// Loads a workspace saved by SaveWorkspace. Missing schema/assignment
 /// files load as empty (a graph-only workspace is valid); a missing
-/// graph file is an error. The graph is frozen exactly once, after the
-/// schema is parsed against its label table.
-util::StatusOr<Workspace> LoadWorkspace(const std::string& dir);
+/// graph is an error.
+///
+/// Prefers <dir>/snapshot.bin: the graph is mapped zero-copy (no
+/// per-edge parsing) and the schema is parsed against the snapshot's
+/// own label table. If the snapshot is absent, corrupt, or older than a
+/// schema that now references labels it lacks, the text path
+/// (graph.sxg, frozen once after the schema is parsed) is used instead
+/// and the reason is reported via `info`. Parse errors from either path
+/// name the offending file and line.
+util::StatusOr<Workspace> LoadWorkspace(const std::string& dir,
+                                        LoadInfo* info = nullptr);
 
 }  // namespace schemex::catalog
 

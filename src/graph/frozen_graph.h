@@ -10,8 +10,8 @@
 
 #include "graph/data_graph.h"
 #include "graph/label.h"
-#include "util/bitset.h"
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace schemex::graph {
 
@@ -24,6 +24,14 @@ namespace schemex::graph {
 /// character arena addressed by a shared offset table, so a frozen graph
 /// performs no per-object string allocations and Value()/Name() return
 /// views into the arena.
+///
+/// Every array is accessed through a read-only view that points into one
+/// of two kinds of backing storage, held alive by `backing_`:
+///  * heap arrays built by the DataGraph constructor (Freeze()), or
+///  * an mmap-ed snapshot file (snapshot::Map()), where the on-disk
+///    layout *is* the CSR and nothing is copied at load time.
+/// The read API is identical either way; algorithms cannot tell (and do
+/// not care) whether the kernel pages the arrays in on demand.
 ///
 /// FrozenGraph is deliberately non-copyable: snapshots are shared via
 /// shared_ptr<const FrozenGraph> (see Freeze()), and every instance
@@ -50,8 +58,10 @@ class FrozenGraph {
   size_t NumAtomicObjects() const { return num_objects_ - num_complex_; }
   size_t NumEdges() const { return num_edges_; }
 
-  bool IsAtomic(ObjectId o) const { return atomic_.Test(o); }
-  bool IsComplex(ObjectId o) const { return !atomic_.Test(o); }
+  bool IsAtomic(ObjectId o) const {
+    return (atomic_words_[o >> 6] >> (o & 63)) & 1ULL;
+  }
+  bool IsComplex(ObjectId o) const { return !IsAtomic(o); }
 
   /// Value of an atomic object (empty for complex objects); a view into
   /// the arena, valid as long as the FrozenGraph lives.
@@ -67,12 +77,12 @@ class FrozenGraph {
   /// Outgoing half-edges of `o`, sorted by (label, other). A slice of the
   /// flat CSR edge array.
   std::span<const HalfEdge> OutEdges(ObjectId o) const {
-    return {out_edges_.data() + out_off_[o], out_off_[o + 1] - out_off_[o]};
+    return out_edges_.subspan(out_off_[o], out_off_[o + 1] - out_off_[o]);
   }
 
   /// Incoming half-edges of `o`, sorted by (label, other).
   std::span<const HalfEdge> InEdges(ObjectId o) const {
-    return {in_edges_.data() + in_off_[o], in_off_[o + 1] - in_off_[o]};
+    return in_edges_.subspan(in_off_[o], in_off_[o + 1] - in_off_[o]);
   }
 
   const LabelInterner& labels() const { return labels_; }
@@ -91,36 +101,89 @@ class FrozenGraph {
   util::Status Validate() const;
 
   /// Heap bytes held by this snapshot (CSR arrays + arena + label table).
+  /// File-backed bytes of a mapped graph are reported by MappedBytes(),
+  /// not here: the kernel pages them in on demand and may evict them.
   size_t MemoryUsage() const;
+
+  /// Bytes of this graph backed by a mapped snapshot file (0 for graphs
+  /// frozen from a DataGraph).
+  size_t MappedBytes() const { return mapped_bytes_; }
 
   /// Process-unique identity token, assigned at construction and never
   /// reused. Exposed by the service so tests (and operators) can verify
   /// that workspace generations share one graph instead of copying it.
   uint64_t id() const { return id_; }
 
+  /// Read-only views of the raw CSR arrays — the seam the snapshot layer
+  /// (src/snapshot/) serializes verbatim. Spans are valid as long as the
+  /// FrozenGraph lives.
+  ///
+  /// Invariants (established by the constructor, demanded by
+  /// FromExternal): offsets are monotone with out_off.size() ==
+  /// num_objects+1, out_off.back() == out_edges.size(), text_off.size()
+  /// == 2*num_objects+1, text_off.back() == arena.size(),
+  /// atomic_words.size() == ceil(num_objects/64) with zero tail bits.
+  struct Parts {
+    std::span<const uint64_t> out_off;
+    std::span<const uint64_t> in_off;
+    std::span<const uint64_t> text_off;
+    std::span<const uint64_t> atomic_words;
+    std::span<const HalfEdge> out_edges;
+    std::span<const HalfEdge> in_edges;
+    std::string_view arena;
+  };
+  Parts parts() const;
+
+  /// Externally assembled CSR arrays (the snapshot loader's input). The
+  /// views must stay valid for as long as `backing` is alive; the
+  /// constructed graph holds `backing` and therefore the mapping (or the
+  /// decoded arenas) through its shared_ptr control block.
+  struct External {
+    size_t num_objects = 0;
+    size_t num_complex = 0;
+    size_t num_edges = 0;
+    Parts views;
+    LabelInterner labels;
+    std::shared_ptr<const void> backing;
+    size_t owned_bytes = 0;   ///< heap bytes inside `backing` (decoded sections)
+    size_t mapped_bytes = 0;  ///< file-backed bytes referenced by the views
+  };
+
+  /// Assembles a FrozenGraph around external arrays after structural
+  /// validation: view sizes against the counts, offset monotonicity, and
+  /// terminator/array-length agreement — O(objects), no per-edge work.
+  /// Per-edge endpoint/label bounds are NOT checked here (callers wanting
+  /// that run Validate() or the snapshot loader's edge-bounds pass).
+  /// Returns InvalidArgument describing the first violated invariant.
+  static util::StatusOr<FrozenGraph> FromExternal(External parts);
+
  private:
   std::string_view ArenaSlice(size_t slot) const {
-    return std::string_view(arena_.data() + text_off_[slot],
-                            text_off_[slot + 1] - text_off_[slot]);
+    return arena_.substr(text_off_[slot], text_off_[slot + 1] - text_off_[slot]);
   }
+
+  /// Heap arrays backing a graph frozen from a DataGraph.
+  struct OwnedArrays;
 
   LabelInterner labels_;
   size_t num_objects_ = 0;
   size_t num_complex_ = 0;
   size_t num_edges_ = 0;
-  util::DenseBitset atomic_;
 
-  // CSR adjacency: out_off_/in_off_ have NumObjects()+1 entries; the
-  // edges of object o occupy [off[o], off[o+1]) of the flat array.
-  std::vector<uint64_t> out_off_;
-  std::vector<uint64_t> in_off_;
-  std::vector<HalfEdge> out_edges_;
-  std::vector<HalfEdge> in_edges_;
+  // Read-only views into `backing_` (owned heap arrays or a mapped
+  // snapshot). atomic_words_ is a dense bitset, one bit per object,
+  // 64 objects per word, tail bits zero.
+  std::span<const uint64_t> out_off_;
+  std::span<const uint64_t> in_off_;
+  std::span<const uint64_t> text_off_;
+  std::span<const uint64_t> atomic_words_;
+  std::span<const HalfEdge> out_edges_;
+  std::span<const HalfEdge> in_edges_;
+  std::string_view arena_;
 
-  // String arena: slot 2*o is o's value, slot 2*o+1 its name;
-  // text_off_ has 2*NumObjects()+1 entries.
-  std::vector<uint64_t> text_off_;
-  std::string arena_;
+  std::shared_ptr<const void> backing_;
+  size_t owned_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
 
   uint64_t id_ = 0;
 };

@@ -10,6 +10,7 @@
 #include "extract/knee.h"
 #include "query/path_query.h"
 #include "query/schema_guide.h"
+#include "snapshot/mapped_file.h"
 #include "typing/defect.h"
 #include "typing/gfp.h"
 #include "typing/program_io.h"
@@ -26,7 +27,8 @@ double SecondsSince(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double>(now - t0).count();
 }
 
-Value WorkspaceSummary(const std::string& name, const catalog::Workspace& ws) {
+std::map<std::string, Value> WorkspaceSummaryFields(
+    const std::string& name, const catalog::Workspace& ws) {
   std::map<std::string, Value> f;
   f["name"] = Value::String(name);
   f["objects"] = JsonUint(ws.graph->NumObjects());
@@ -40,7 +42,11 @@ Value WorkspaceSummary(const std::string& name, const catalog::Workspace& ws) {
   // share the same FrozenGraph instance.
   f["graph_id"] = JsonUint(ws.graph->id());
   f["graph_bytes"] = JsonUint(ws.graph->MemoryUsage());
-  return Value::Object(std::move(f));
+  return f;
+}
+
+Value WorkspaceSummary(const std::string& name, const catalog::Workspace& ws) {
+  return Value::Object(WorkspaceSummaryFields(name, ws));
 }
 
 /// Turns an absolute deadline into a cooperative-cancellation hook for
@@ -241,11 +247,24 @@ util::StatusOr<json::Value> Server::HandleLoadWorkspace(
   if (p.name.empty()) {
     return util::Status::InvalidArgument("workspace name must be non-empty");
   }
+  catalog::LoadInfo load_info;
   SCHEMEX_ASSIGN_OR_RETURN(catalog::Workspace ws,
-                           catalog::LoadWorkspace(p.dir));
-  Value summary = WorkspaceSummary(p.name, ws);
+                           catalog::LoadWorkspace(p.dir, &load_info));
+  metrics_.AddCounter(load_info.from_snapshot ? "workspace.load_snapshot"
+                                              : "workspace.load_text",
+                      1);
+  std::map<std::string, Value> f = WorkspaceSummaryFields(p.name, ws);
+  // Surface how the graph was obtained, and — when a snapshot existed
+  // but was rejected — why the load fell back to the text files.
+  f["source"] =
+      Value::String(load_info.from_snapshot ? "snapshot" : "text");
+  if (!load_info.from_snapshot &&
+      load_info.snapshot_status.code() != util::StatusCode::kNotFound) {
+    f["snapshot_error"] =
+        Value::String(load_info.snapshot_status.ToString());
+  }
   PutWorkspace(p.name, std::move(ws));
-  return summary;
+  return Value::Object(std::move(f));
 }
 
 util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
@@ -475,6 +494,10 @@ util::StatusOr<json::Value> Server::HandleStats() {
   f["workspaces"] = JsonUint(WorkspaceNames().size());
   f["distinct_graphs"] = JsonUint(seen_graphs.size());
   f["graph_bytes"] = JsonUint(graph_bytes);
+  // Snapshot-backed graphs: bytes are file-backed (demand-paged), not
+  // heap, so they are reported separately from graph_bytes.
+  f["mapped_snapshots"] = JsonUint(snapshot::LiveMappings().size());
+  f["mapped_bytes"] = JsonUint(snapshot::LiveMappedBytes());
   f["threads"] = JsonUint(pool_->num_threads());
   f["queue_depth"] = JsonUint(pool_->QueueDepth());
   return Value::Object(std::move(f));

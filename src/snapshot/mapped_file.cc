@@ -1,0 +1,146 @@
+#include "snapshot/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace schemex::snapshot {
+
+namespace {
+
+/// Process-wide accounting of live mappings. Mappings are created on
+/// whatever thread loads a workspace and released on whatever thread
+/// drops the last shared_ptr to the mapped graph (often a pool worker
+/// swapping a workspace generation), so the registry is a real
+/// concurrent surface and carries the repo's capability annotations.
+class MappingRegistry {
+ public:
+  static MappingRegistry& Get() {
+    static MappingRegistry registry;
+    return registry;
+  }
+
+  uint64_t Register(const std::string& path, size_t bytes)
+      SCHEMEX_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    uint64_t token = next_token_++;
+    live_.emplace(token, MappingInfo{path, bytes});
+    return token;
+  }
+
+  void Unregister(uint64_t token) SCHEMEX_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    live_.erase(token);
+  }
+
+  std::vector<MappingInfo> Snapshot() const SCHEMEX_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    std::vector<MappingInfo> out;
+    out.reserve(live_.size());
+    for (const auto& [token, info] : live_) out.push_back(info);
+    return out;
+  }
+
+  size_t TotalBytes() const SCHEMEX_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    size_t total = 0;
+    for (const auto& [token, info] : live_) total += info.bytes;
+    return total;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  uint64_t next_token_ SCHEMEX_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, MappingInfo> live_ SCHEMEX_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+MappedFile::~MappedFile() { Release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      path_(std::move(other.path_)),
+      registry_token_(other.registry_token_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.registry_token_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    registry_token_ = other.registry_token_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.registry_token_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::Release() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+  }
+  if (registry_token_ != 0) {
+    MappingRegistry::Get().Unregister(registry_token_);
+    registry_token_ = 0;
+  }
+}
+
+util::StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return util::Status::NotFound("cannot open " + path + ": " +
+                                  std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return util::Status::Internal("fstat " + path + ": " +
+                                  std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return util::Status::InvalidArgument("snapshot file " + path +
+                                         " is empty");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // no longer needed (and an unlinked snapshot stays readable until the
+  // last mapping is released).
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return util::Status::Internal("mmap " + path + ": " +
+                                  std::strerror(errno));
+  }
+  MappedFile f;
+  f.data_ = static_cast<const uint8_t*>(addr);
+  f.size_ = size;
+  f.path_ = path;
+  f.registry_token_ = MappingRegistry::Get().Register(path, size);
+  return f;
+}
+
+std::vector<MappingInfo> LiveMappings() {
+  return MappingRegistry::Get().Snapshot();
+}
+
+size_t LiveMappedBytes() { return MappingRegistry::Get().TotalBytes(); }
+
+}  // namespace schemex::snapshot

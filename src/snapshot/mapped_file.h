@@ -1,0 +1,65 @@
+#ifndef SCHEMEX_SNAPSHOT_MAPPED_FILE_H_
+#define SCHEMEX_SNAPSHOT_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace schemex::snapshot {
+
+/// A read-only, shared (MAP_SHARED, PROT_READ) memory mapping of a file.
+/// Move-only RAII: the mapping is released in the destructor. The kernel
+/// pages mapped bytes in on demand and may drop clean pages under
+/// pressure, which is what makes larger-than-RAM snapshots servable.
+///
+/// Every live MappedFile is tracked in a process-wide registry (see
+/// LiveMappings() below) so the service's `stats` verb and `snapshot
+/// inspect` can report how many file-backed bytes are currently wired
+/// into workspaces.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens and maps `path` read-only. NotFound if the file cannot be
+  /// opened, InvalidArgument for an empty file (a snapshot is never
+  /// empty), Internal for mmap failures.
+  static util::StatusOr<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+  uint64_t registry_token_ = 0;  ///< 0 = not registered
+};
+
+/// One live mapping as reported by the registry.
+struct MappingInfo {
+  std::string path;
+  size_t bytes = 0;
+};
+
+/// Snapshot of all live mappings in this process, in creation order.
+std::vector<MappingInfo> LiveMappings();
+
+/// Total bytes across live mappings (what `stats` reports as
+/// mapped_bytes).
+size_t LiveMappedBytes();
+
+}  // namespace schemex::snapshot
+
+#endif  // SCHEMEX_SNAPSHOT_MAPPED_FILE_H_

@@ -1,0 +1,90 @@
+#ifndef SCHEMEX_SNAPSHOT_SNAPSHOT_H_
+#define SCHEMEX_SNAPSHOT_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/frozen_graph.h"
+#include "snapshot/format.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace schemex::snapshot {
+
+/// Options for Write().
+struct WriteOptions {
+  /// Encode the offset tables and adjacency arrays as delta/zigzag
+  /// varints. Roughly halves the file for typical graphs, but compact
+  /// sections must be decoded into an owned arena at load time, so a
+  /// compact snapshot loads via one linear decode pass instead of
+  /// zero-copy. The text/label arenas and the atomic bitset are always
+  /// raw.
+  bool compact = false;
+};
+
+/// Serializes `g` to `path` in the binary snapshot format
+/// (docs/snapshot.md). Writes "<path>.tmp" and renames into place, so a
+/// concurrent Map() sees either the complete old file or the complete
+/// new one. O(graph) once; every later Map() is O(validation).
+util::Status Write(const graph::FrozenGraph& g, const std::string& path,
+                   const WriteOptions& options = {});
+
+/// Options for Map().
+struct MapOptions {
+  /// Check the per-section CRC-32s (and the header CRC, which is always
+  /// checked). Touches every payload byte once — still far cheaper than
+  /// a text parse. Turn off for trusted, larger-than-RAM snapshots where
+  /// faulting the whole file in defeats out-of-core paging.
+  bool verify_crc = true;
+  /// Bounds-check every edge's endpoint and label against the header
+  /// counts (one linear pass, no allocation). Protects later algorithm
+  /// scans from out-of-bounds ids in files whose corruption survives the
+  /// CRC policy above. Turn off only together with a trusted source.
+  bool validate_edges = true;
+};
+
+/// Maps the snapshot at `path` and assembles a FrozenGraph whose CSR
+/// arrays point directly into the mapping (raw sections) or into arenas
+/// decoded from it (compact sections). The returned graph keeps the
+/// mapping alive through its control block: the file is unmapped when
+/// the last shared_ptr copy drops, even if the file was replaced or
+/// unlinked meanwhile.
+///
+/// Structured InvalidArgument on any malformed input — bad magic,
+/// version or endianness, truncation, CRC mismatch, out-of-bounds
+/// section table or offsets, non-canonical varints — never a crash.
+util::StatusOr<std::shared_ptr<const graph::FrozenGraph>> Map(
+    const std::string& path, const MapOptions& options = {});
+
+/// One section table row, plus whether its payload CRC verifies.
+struct SectionInfo {
+  uint32_t id = 0;
+  std::string name;      ///< "out_offsets", ... or "unknown"
+  std::string encoding;  ///< "raw", "delta_varint", "edge_varint"
+  uint64_t offset = 0;
+  uint64_t stored_bytes = 0;
+  uint64_t raw_bytes = 0;
+  uint32_t crc32 = 0;
+  bool crc_ok = false;
+};
+
+/// Header fields and section table of a snapshot, for `snapshot
+/// inspect` and tests. Requires a well-formed header (magic, version,
+/// endianness, header CRC, section table in bounds); individual payload
+/// CRC failures are reported per-section rather than as an error.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_complex = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_labels = 0;
+  std::vector<SectionInfo> sections;
+};
+
+util::StatusOr<SnapshotInfo> Inspect(const std::string& path);
+
+}  // namespace schemex::snapshot
+
+#endif  // SCHEMEX_SNAPSHOT_SNAPSHOT_H_

@@ -1,0 +1,64 @@
+#ifndef SCHEMEX_SNAPSHOT_VARINT_H_
+#define SCHEMEX_SNAPSHOT_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace schemex::snapshot {
+
+/// LEB128 unsigned varints (7 payload bits per byte, high bit = more),
+/// plus the zigzag mapping for signed deltas. Used by the compact
+/// snapshot sections; the decoder is strictly bounds-checked because it
+/// runs over untrusted file bytes.
+
+inline void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Sequential decoder over a byte range it does not own. Every Read
+/// reports failure instead of walking past `end` or accepting an
+/// over-long (>10 byte) encoding.
+class VarintReader {
+ public:
+  VarintReader(const uint8_t* data, size_t size)
+      : p_(data), end_(data + size) {}
+
+  bool Read(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (p_ == end_) return false;
+      uint8_t b = *p_++;
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        // Reject non-canonical tails that would shift bits off the top.
+        if (shift == 63 && b > 1) return false;
+        *out = v;
+        return true;
+      }
+    }
+    return false;  // 10+ continuation bytes: not a valid u64
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace schemex::snapshot
+
+#endif  // SCHEMEX_SNAPSHOT_VARINT_H_

@@ -1,0 +1,24 @@
+#ifndef SCHEMEX_UTIL_CRC32_H_
+#define SCHEMEX_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace schemex::util {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the same
+/// checksum zlib/PNG/gzip use, so snapshot files can be cross-checked
+/// with standard tools. `seed` lets callers chain incremental updates:
+///   crc = Crc32(a, na);
+///   crc = Crc32(b, nb, crc);
+/// equals Crc32 over the concatenation of a and b.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace schemex::util
+
+#endif  // SCHEMEX_UTIL_CRC32_H_

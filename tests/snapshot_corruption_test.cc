@@ -1,0 +1,219 @@
+// Corruption fuzzing for the snapshot loader: every truncation and every
+// single-bit flip of a valid snapshot must either be rejected with a
+// structured error or — when the flip lands in a byte the chosen
+// MapOptions legitimately do not inspect — produce a graph that still
+// passes full validation. Never a crash (ASan/UBSan lanes run this
+// suite), never a silently wrong graph.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+#include "tests/test_util.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace schemex::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("schemex_corrupt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    graph::GraphBuilder b;
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_OK(b.Complex(util::StringPrintf("c%d", i)));
+      EXPECT_OK(b.Atomic(util::StringPrintf("a%d", i),
+                         util::StringPrintf("value-%d", i)));
+    }
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_OK(b.Edge(util::StringPrintf("c%d", i), "next",
+                       util::StringPrintf("c%d", (i + 1) % 12)));
+      EXPECT_OK(b.Edge(util::StringPrintf("c%d", i), "value",
+                       util::StringPrintf("a%d", i)));
+    }
+    util::Status st;
+    graph_ = graph::Freeze(std::move(b).Build(&st));
+    EXPECT_OK(st);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteValid(bool compact) {
+    std::string path = (dir_ / (compact ? "c.bin" : "r.bin")).string();
+    WriteOptions opt;
+    opt.compact = compact;
+    EXPECT_OK(Write(*graph_, path, opt));
+    return path;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  std::string Spit(const std::string& bytes) {
+    std::string path = (dir_ / "mutated.bin").string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    out.close();
+    return path;
+  }
+
+  fs::path dir_;
+  std::shared_ptr<const graph::FrozenGraph> graph_;
+};
+
+TEST_F(SnapshotCorruptionTest, EveryTruncationRejected) {
+  for (bool compact : {false, true}) {
+    std::string bytes = Slurp(WriteValid(compact));
+    ASSERT_GT(bytes.size(), 0u);
+    // Every prefix length: dense below the header + section table so the
+    // layout parser sees all its partial shapes, sparse in the payload.
+    for (size_t len = 0; len < bytes.size();
+         len += (len < 1024 ? 1 : 977)) {
+      auto g = Map(Spit(bytes.substr(0, len)));
+      EXPECT_FALSE(g.ok()) << "compact=" << compact << " len=" << len;
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, EveryBitFlipRejectedOrHarmless) {
+  for (bool compact : {false, true}) {
+    const std::string bytes = Slurp(WriteValid(compact));
+    size_t accepted = 0;
+    for (size_t off = 0; off < bytes.size(); ++off) {
+      std::string mutated = bytes;
+      mutated[off] = static_cast<char>(mutated[off] ^ (1u << (off % 8)));
+      auto g = Map(Spit(mutated));
+      if (!g.ok()) continue;  // structured rejection: good
+      // With CRC verification on, a flip can only be accepted in bytes
+      // the format genuinely ignores (section padding, reserved fields).
+      // The graph must then still be exactly intact.
+      ++accepted;
+      util::Status valid = (*g)->Validate();
+      EXPECT_TRUE(valid.ok()) << valid.ToString() << " compact=" << compact
+                              << " offset=" << off;
+      EXPECT_EQ((*g)->NumEdges(), graph_->NumEdges()) << "offset=" << off;
+    }
+    // CRC coverage is tight: the only bytes a flip may slip through are
+    // the inter-section alignment padding (at most 7 per section).
+    EXPECT_LE(accepted, 9u * 7u)
+        << "compact=" << compact
+        << ": CRCs are ignoring too much of the file";
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadFlipsCaughtEvenWithoutCrc) {
+  // verify_crc=false is the out-of-core mode: structural validation must
+  // still bound every offset and id, so a flipped payload byte may yield
+  // a wrong-but-in-bounds graph, never a crash or an OOB read. (ASan is
+  // the assertion here; the Map/Validate calls just have to terminate.)
+  MapOptions opt;
+  opt.verify_crc = false;
+  const std::string bytes = Slurp(WriteValid(false));
+  for (size_t off = 0; off < bytes.size(); off += 3) {
+    std::string mutated = bytes;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x80);
+    auto g = Map(Spit(mutated), opt);
+    if (g.ok()) {
+      auto st = (*g)->Validate();  // outcome irrelevant; must not crash
+      (void)st.ok();
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, StructuredErrorsForHeaderFields) {
+  const std::string bytes = Slurp(WriteValid(false));
+
+  auto expect_error = [&](std::string mutated, const char* needle) {
+    auto g = Map(Spit(mutated));
+    ASSERT_FALSE(g.ok()) << needle;
+    EXPECT_EQ(g.status().code(), util::StatusCode::kInvalidArgument)
+        << needle;
+    EXPECT_NE(g.status().message().find(needle), std::string::npos)
+        << "wanted \"" << needle << "\" in: " << g.status().ToString();
+  };
+
+  {  // Bad magic.
+    std::string m = bytes;
+    m[0] = 'X';
+    expect_error(m, "magic");
+  }
+  {  // Unsupported version (header CRC recomputed so it gets that far).
+    Header h;
+    std::memcpy(&h, bytes.data(), sizeof(Header));
+    h.version = 99;
+    h.header_crc = util::Crc32(&h, offsetof(Header, header_crc));
+    std::string m = bytes;
+    std::memcpy(m.data(), &h, sizeof(Header));
+    expect_error(m, "version");
+  }
+  {  // Foreign endianness.
+    Header h;
+    std::memcpy(&h, bytes.data(), sizeof(Header));
+    h.endian = 0x04030201;
+    h.header_crc = util::Crc32(&h, offsetof(Header, header_crc));
+    std::string m = bytes;
+    std::memcpy(m.data(), &h, sizeof(Header));
+    expect_error(m, "endian");
+  }
+  {  // Header CRC break.
+    std::string m = bytes;
+    m[60] = static_cast<char>(m[60] ^ 0xff);  // header_crc bytes
+    expect_error(m, "header CRC");
+  }
+  {  // Section CRC break: flip one payload byte far from the table.
+    std::string m = bytes;
+    m[m.size() - 1] = static_cast<char>(m[m.size() - 1] ^ 0x01);
+    expect_error(m, "CRC");
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, CompactVarintCorruptionRejected) {
+  const std::string bytes = Slurp(WriteValid(true));
+  // Saturate varint continuation bits across the encoded edge sections:
+  // decoding must fail cleanly (overlong varint, value overflow, or
+  // count mismatch), whatever byte the 0x80 lands on. CRC is off so the
+  // decoder itself is what's under test.
+  MapOptions opt;
+  opt.verify_crc = false;
+  size_t payload_start = sizeof(Header) + 9 * sizeof(SectionEntry);
+  for (size_t off = payload_start; off < bytes.size(); ++off) {
+    std::string mutated = bytes;
+    mutated[off] = static_cast<char>(mutated[off] | 0x80);
+    auto g = Map(Spit(mutated), opt);
+    if (g.ok()) {
+      auto st = (*g)->Validate();
+      (void)st.ok();  // must not crash; correctness handled by CRC mode
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, NotASnapshotAtAll) {
+  EXPECT_FALSE(Map(Spit("")).ok());
+  EXPECT_FALSE(Map(Spit("hello world")).ok());
+  EXPECT_FALSE(Map((dir_ / "missing.bin").string()).ok());
+  std::string zeros(4096, '\0');
+  EXPECT_FALSE(Map(Spit(zeros)).ok());
+}
+
+}  // namespace
+}  // namespace schemex::snapshot

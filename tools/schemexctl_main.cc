@@ -9,6 +9,10 @@
 //       response as it arrives (completion order — correlate by "id"),
 //       exit 0 only if every response was ok.
 //
+//   schemexctl snapshot save|load|inspect ...
+//       offline binary-snapshot tooling (see tools/snapshot_cli.h) —
+//       runs locally, no server needed.
+//
 //   schemexctl --connect HOST:PORT --extract WORKSPACE
 //       build and send one extract request without hand-writing JSON.
 //       Extract flags: --k N (target type count; 0 = auto knee),
@@ -26,6 +30,7 @@
 #include "json/json.h"
 #include "service/framer.h"
 #include "service/tcp_client.h"
+#include "snapshot_cli.h"
 #include "util/string_util.h"
 
 namespace {
@@ -55,6 +60,9 @@ bool ResponseOk(const std::string& line) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "snapshot") {
+    return schemex::tools::SnapshotCliMain(argc - 1, argv + 1);
+  }
   std::string endpoint;
   std::string request;
   bool from_stdin = false;

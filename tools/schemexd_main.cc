@@ -19,6 +19,10 @@
 //                        as a graph-only workspace and exit (a ready-made
 //                        target for load_workspace / --workspace)
 //
+// Subcommands:
+//   schemexd snapshot save|load|inspect ...
+//       offline binary-snapshot tooling (see tools/snapshot_cli.h)
+//
 // --listen flags:
 //   --bind ADDR          bind address (default 127.0.0.1; 0.0.0.0 = all)
 //   --idle-timeout S     drop idle connections after S seconds (default 300)
@@ -48,6 +52,7 @@
 #include "service/request.h"
 #include "service/server.h"
 #include "service/tcp_server.h"
+#include "snapshot_cli.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
 
@@ -179,6 +184,9 @@ int ServeTcp(Server& server, const TcpServerOptions& tcp_options,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "snapshot") {
+    return schemex::tools::SnapshotCliMain(argc - 1, argv + 1);
+  }
   bool serve = false;
   bool listen = false;
   std::string once_request;
