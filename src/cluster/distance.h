@@ -4,9 +4,18 @@
 #include <cstddef>
 #include <string_view>
 
+#include "typing/bit_signature.h"
 #include "typing/type_signature.h"
 
 namespace schemex::cluster {
+
+/// The bit-parallel distance kernel (XOR + popcount over the program's
+/// typed-link universe) used by the Stage-2/Stage-3 hot loops. Defined in
+/// typing/ so Stage 3 can share it; re-exported here because clustering is
+/// its primary consumer. SimpleDistance below stays the sorted-vector
+/// reference the kernel is property-tested against.
+using BitSignature = typing::BitSignature;
+using BitSignatureIndex = typing::BitSignatureIndex;
 
 /// The weighted distance functions of §5.2. All take the simple Manhattan
 /// distance d (symmetric difference of rule bodies), the weights w1 (the

@@ -17,11 +17,16 @@ using typing::TypeSignature;
 using typing::TypingProgram;
 
 /// Builds the candidate program for one partition: group definitions are
-/// weighted medoids, targets remapped to group ids.
+/// weighted medoids, targets remapped to group ids. `d` is the
+/// precomputed all-pairs simple-distance matrix (bit kernel) — the
+/// enumeration evaluates every partition against the same Stage-1
+/// signatures, so the matrix is computed once per call, not per
+/// partition.
 TypingProgram BuildProgram(const TypingProgram& stage1,
                            const std::vector<uint32_t>& weights,
                            const std::vector<TypeId>& group_of,
-                           size_t num_groups) {
+                           size_t num_groups,
+                           const std::vector<std::vector<size_t>>& d) {
   const size_t n = stage1.NumTypes();
   std::vector<std::vector<size_t>> members(num_groups);
   for (size_t i = 0; i < n; ++i) {
@@ -34,9 +39,7 @@ TypingProgram BuildProgram(const TypingProgram& stage1,
     for (size_t m : members[gidx]) {
       uint64_t cost = 0;
       for (size_t j : members[gidx]) {
-        cost += static_cast<uint64_t>(weights[j]) *
-                SimpleDistance(stage1.type(static_cast<TypeId>(j)).signature,
-                               stage1.type(static_cast<TypeId>(m)).signature);
+        cost += static_cast<uint64_t>(weights[j]) * d[j][m];
       }
       if (cost < best_cost) {
         best_cost = cost;
@@ -68,13 +71,30 @@ util::StatusOr<ExactResult> ExactOptimalTyping(
   ExactResult best;
   best.defect = std::numeric_limits<size_t>::max();
 
+  // All-pairs signature distances on the bit kernel, once up front.
+  std::vector<std::vector<size_t>> d(n, std::vector<size_t>(n, 0));
+  {
+    typing::BitSignatureIndex index(stage1.program);
+    std::vector<typing::BitSignature> enc(n);
+    for (size_t i = 0; i < n; ++i) {
+      enc[i] = index.Encode(stage1.program.type(static_cast<TypeId>(i))
+                                .signature);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        d[i][j] = d[j][i] =
+            typing::BitSignatureIndex::Distance(enc[i], enc[j]);
+      }
+    }
+  }
+
   // Enumerate restricted growth strings: rgs[0] = 0, rgs[i] <= max+1,
   // group count <= k.
   std::vector<TypeId> rgs(n, 0);
   util::Status eval_error;
   auto evaluate = [&](size_t num_groups) {
     TypingProgram program =
-        BuildProgram(stage1.program, stage1.weight, rgs, num_groups);
+        BuildProgram(stage1.program, stage1.weight, rgs, num_groups, d);
     std::vector<std::vector<TypeId>> homes(g.NumObjects());
     for (size_t o = 0; o < stage1.home.size(); ++o) {
       if (stage1.home[o] != typing::kInvalidType) {

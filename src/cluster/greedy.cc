@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/parallel_for.h"
 #include "util/string_util.h"
 
 namespace schemex::cluster {
@@ -44,17 +45,41 @@ struct Candidate {
   }
 };
 
+/// The greedy clusterer, organised as *sharded compute, sequential
+/// reduce* (the Stage-1 playbook): every merge step runs three phases —
+///
+///   M (sequential): apply the hypercube projection / link drop to the
+///     affected rule bodies and re-encode them on the bit kernel. This is
+///     the only phase that grows the BitSignatureIndex universe, so bit
+///     assignment order is identical for every thread count.
+///   D (sharded): recompute the simple-distance matrix entries whose
+///     endpoints changed, each unordered pair owned by its lower row so
+///     workers write disjoint cells.
+///   B (sharded): restore every live source's cached best move, either by
+///     a full rescan (when its own body or its cached destination
+///     changed) or by folding in just the changed destinations. Each
+///     worker writes only its own best_[j] slots.
+///
+/// All phase inputs are frozen before the shards launch and every value
+/// is a pure function of them, so the result is bit-identical at any
+/// thread count; with no pool the shards run inline in order, which *is*
+/// the sequential reference.
 class GreedyClusterer {
  public:
   GreedyClusterer(const TypingProgram& stage1,
                   const std::vector<uint32_t>& weights,
-                  const ClusteringOptions& options)
+                  const ClusteringOptions& options, util::ThreadPool* pool,
+                  size_t threads)
       : options_(options),
         n_(stage1.NumTypes()),
+        pool_(pool),
+        threads_(threads),
         names_(n_),
         sig_(n_),
+        enc_(n_),
         weight_(n_),
         alive_(n_, true),
+        changed_(n_, 0),
         cluster_of_(n_),
         big_l_(stage1.NumDistinctTypedLinks()) {
     for (size_t i = 0; i < n_; ++i) {
@@ -65,10 +90,12 @@ class GreedyClusterer {
     }
     InitDistances();
     best_.resize(n_);
-    for (size_t s = 0; s < n_; ++s) RecomputeBest(s);
+    ForEachShard([&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) RecomputeBest(s);
+    });
   }
 
-  ClusteringResult Run() {
+  util::StatusOr<ClusteringResult> Run(const typing::ExecOptions& exec) {
     ClusteringResult result;
     size_t live = n_;
     if (options_.record_snapshots) {
@@ -76,6 +103,7 @@ class GreedyClusterer {
     }
     double total = 0.0;
     while (live > options_.target_num_types) {
+      SCHEMEX_RETURN_IF_ERROR(exec.Poll());
       Candidate best = PickGlobalBest();
       if (best.source < 0) break;  // nothing mergeable (live <= 1)
       Apply(best);
@@ -110,17 +138,31 @@ class GreedyClusterer {
     d_[b * n_ + a] = static_cast<uint32_t>(v);
   }
 
+  /// Runs fn over row shards of [0, n) — on the pool when one was given,
+  /// inline (in order) otherwise.
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) {
+    auto shards = util::ShardRanges(n_, threads_);
+    util::RunShards(pool_, shards.size(), [&](size_t s) {
+      fn(shards[s].first, shards[s].second);
+    });
+  }
+
   void InitDistances() {
     initial_weight_.resize(n_);
     for (size_t i = 0; i < n_; ++i) {
       initial_weight_[i] = static_cast<uint64_t>(weight_[i]);
     }
+    // Sequential encode fixes the bit universe in type order.
+    for (size_t i = 0; i < n_; ++i) enc_[i] = index_.Encode(sig_[i]);
     d_.assign(n_ * n_, 0);
-    for (size_t i = 0; i < n_; ++i) {
-      for (size_t j = i + 1; j < n_; ++j) {
-        SetD(i, j, SimpleDistance(sig_[i], sig_[j]));
+    ForEachShard([&](size_t begin, size_t end) {
+      for (size_t a = begin; a < end; ++a) {
+        for (size_t b = a + 1; b < n_; ++b) {
+          SetD(a, b, BitSignatureIndex::Distance(enc_[a], enc_[b]));
+        }
       }
-    }
+    });
   }
 
   double Cost(size_t dest, size_t source, size_t dist) const {
@@ -169,27 +211,6 @@ class GreedyClusterer {
     return best;
   }
 
-  /// Re-derives the d row of `c` after its signature changed and folds
-  /// the new costs into the cached bests of every other source.
-  void RefreshDistancesFor(size_t c) {
-    for (size_t j = 0; j < n_; ++j) {
-      if (j == c || !alive_[j]) continue;
-      SetD(c, j, SimpleDistance(sig_[c], sig_[j]));
-    }
-    // c's own options all changed (its size may also have changed,
-    // affecting its empty move).
-    RecomputeBest(c);
-    for (size_t j = 0; j < n_; ++j) {
-      if (j == c || !alive_[j]) continue;
-      if (best_[j].dest == static_cast<TypeId>(c)) {
-        RecomputeBest(j);  // cached pick may have become worse
-      } else {
-        Candidate cand = MakeCandidate(j, c);
-        if (cand.BeatsAsDest(best_[j])) best_[j] = cand;
-      }
-    }
-  }
-
   bool PsiDependsOnDestWeight() const {
     switch (options_.psi) {
       case PsiKind::kPsi1:
@@ -210,58 +231,104 @@ class GreedyClusterer {
     for (TypeId& cl : cluster_of_) {
       if (cl == c.source) cl = c.dest;
     }
-    if (c.dest == kEmptyType) {
-      empty_weight_ += weight_[s];
-      // Typed links targeting s can no longer be witnessed by classified
-      // objects; drop them from every surviving rule body.
-      for (size_t i = 0; i < n_; ++i) {
-        if (!alive_[i]) continue;
-        bool changed = false;
-        TypeSignature next = sig_[i];
-        for (const typing::TypedLink& l : sig_[i].links()) {
-          if (l.target == c.source) {
-            next.Erase(l);
-            changed = true;
-          }
-        }
-        if (changed) {
-          sig_[i] = std::move(next);
-          RefreshDistancesFor(i);
-        }
-      }
-      // The empty type got heavier: empty-move costs change for
-      // w1-dependent psi kinds; and any cached best pointing at s died.
-      for (size_t i = 0; i < n_; ++i) {
-        if (!alive_[i]) continue;
-        if (best_[i].dest == c.source ||
-            (options_.enable_empty_type && PsiDependsOnDestWeight())) {
-          RecomputeBest(i);
-        }
-      }
-      return;
-    }
-    size_t t = static_cast<size_t>(c.dest);
-    weight_[t] += weight_[s];
-    // Hypercube projection: every reference to s becomes a reference to t.
+
+    // Phase M: mutate the affected rule bodies and re-encode them.
+    // Sequential — it is O(changed · |sig|), and it is the only place new
+    // typed links (retargeted to c.dest) enter the bit universe, so bit
+    // order stays deterministic.
+    const bool empty_dest = c.dest == kEmptyType;
+    std::fill(changed_.begin(), changed_.end(), uint8_t{0});
+    changed_list_.clear();
     for (size_t i = 0; i < n_; ++i) {
       if (!alive_[i]) continue;
-      TypeSignature before = sig_[i];
-      sig_[i].RemapTarget(c.source, c.dest);
-      if (!(sig_[i] == before)) RefreshDistancesFor(i);
-    }
-    // Invalidate stale picks: anything aimed at the dead source, or at t
-    // (whose weight changed — costs may have moved either way), plus fold
-    // in the possibly-cheaper move into the heavier t.
-    for (size_t i = 0; i < n_; ++i) {
-      if (!alive_[i] || i == t) continue;
-      if (best_[i].dest == c.source || best_[i].dest == c.dest) {
-        RecomputeBest(i);
-      } else {
-        Candidate cand = MakeCandidate(i, t);
-        if (cand.BeatsAsDest(best_[i])) best_[i] = cand;
+      bool references_s = false;
+      for (const typing::TypedLink& l : sig_[i].links()) {
+        if (l.target == c.source) {
+          references_s = true;
+          break;
+        }
       }
+      if (!references_s) continue;
+      if (empty_dest) {
+        // Typed links targeting s can no longer be witnessed by
+        // classified objects; drop them from the surviving rule body.
+        TypeSignature next = sig_[i];
+        for (const typing::TypedLink& l : sig_[i].links()) {
+          if (l.target == c.source) next.Erase(l);
+        }
+        sig_[i] = std::move(next);
+      } else {
+        // Hypercube projection: every reference to s becomes one to t.
+        sig_[i].RemapTarget(c.source, c.dest);
+      }
+      enc_[i] = index_.Encode(sig_[i]);
+      changed_[i] = 1;
+      changed_list_.push_back(i);
     }
-    RecomputeBest(t);
+    if (empty_dest) {
+      empty_weight_ += weight_[s];
+    } else {
+      weight_[static_cast<size_t>(c.dest)] += weight_[s];
+    }
+
+    // Phase D: refresh the distance rows whose endpoints changed. Each
+    // unordered pair is owned by its lower index, so shards write
+    // disjoint matrix cells; every value reads only post-M state.
+    if (!changed_list_.empty()) {
+      ForEachShard([&](size_t begin, size_t end) {
+        for (size_t a = begin; a < end; ++a) {
+          if (!alive_[a]) continue;
+          if (changed_[a]) {
+            for (size_t b = a + 1; b < n_; ++b) {
+              if (!alive_[b]) continue;
+              SetD(a, b, BitSignatureIndex::Distance(enc_[a], enc_[b]));
+            }
+          } else {
+            auto it = std::upper_bound(changed_list_.begin(),
+                                       changed_list_.end(), a);
+            for (; it != changed_list_.end(); ++it) {
+              if (alive_[*it]) {
+                SetD(a, *it, BitSignatureIndex::Distance(enc_[a], enc_[*it]));
+              }
+            }
+          }
+        }
+      });
+    }
+
+    // Phase B: restore every cached best to the true minimum over the
+    // fresh state. A cached pick is still valid unless the source itself
+    // changed, its destination died / changed body / changed weight, or
+    // (for w1-dependent psi kinds) the empty type got heavier; candidates
+    // that could only have *improved* are folded in. The minimum under
+    // (cost, dest-rank) is unique, so rescans and fold-ins agree exactly.
+    const bool empty_weight_changed =
+        empty_dest && options_.enable_empty_type && PsiDependsOnDestWeight();
+    ForEachShard([&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        if (!alive_[j]) continue;
+        const Candidate& cached = best_[j];
+        bool recompute =
+            changed_[j] || cached.dest == c.source || empty_weight_changed ||
+            (!empty_dest && (j == static_cast<size_t>(c.dest) ||
+                             cached.dest == c.dest)) ||
+            (cached.dest >= 0 && changed_[static_cast<size_t>(cached.dest)]);
+        if (recompute) {
+          RecomputeBest(j);
+          continue;
+        }
+        for (size_t cd : changed_list_) {
+          if (cd == j || !alive_[cd]) continue;
+          Candidate cand = MakeCandidate(j, cd);
+          if (cand.BeatsAsDest(best_[j])) best_[j] = cand;
+        }
+        if (!empty_dest && j != static_cast<size_t>(c.dest)) {
+          // The destination got heavier: moves into it may have cheapened.
+          Candidate cand = MakeCandidate(j, static_cast<size_t>(c.dest));
+          if (cand.BeatsAsDest(best_[j])) best_[j] = cand;
+        }
+      }
+    });
   }
 
   Snapshot MakeSnapshot(double total) const {
@@ -291,11 +358,17 @@ class GreedyClusterer {
 
   const ClusteringOptions options_;
   const size_t n_;
+  util::ThreadPool* pool_;
+  const size_t threads_;
   std::vector<std::string> names_;
   std::vector<TypeSignature> sig_;
+  BitSignatureIndex index_;
+  std::vector<BitSignature> enc_;  // sig_[i] on the bit kernel, kept fresh
   std::vector<double> weight_;
   std::vector<uint64_t> initial_weight_;
   std::vector<bool> alive_;
+  std::vector<uint8_t> changed_;      // per-merge scratch (byte: shard-read)
+  std::vector<size_t> changed_list_;  // ascending ids of changed_ entries
   std::vector<TypeId> cluster_of_;
   std::vector<uint32_t> d_;        // flat n*n simple-distance matrix
   std::vector<Candidate> best_;    // per live source: its best move
@@ -307,7 +380,7 @@ class GreedyClusterer {
 
 util::StatusOr<ClusteringResult> ClusterTypes(
     const TypingProgram& stage1, const std::vector<uint32_t>& weights,
-    const ClusteringOptions& options) {
+    const ClusteringOptions& options, const typing::ExecOptions& exec) {
   if (weights.size() != stage1.NumTypes()) {
     return util::Status::InvalidArgument(util::StringPrintf(
         "weights (%zu) must match number of types (%zu)", weights.size(),
@@ -317,8 +390,10 @@ util::StatusOr<ClusteringResult> ClusterTypes(
     return util::Status::InvalidArgument("target_num_types must be >= 1");
   }
   SCHEMEX_RETURN_IF_ERROR(stage1.Validate());
-  GreedyClusterer clusterer(stage1, weights, options);
-  return clusterer.Run();
+  util::PoolRef pool(exec.pool, exec.num_threads);
+  GreedyClusterer clusterer(stage1, weights, options, pool.get(),
+                            pool.num_threads());
+  return clusterer.Run(exec);
 }
 
 }  // namespace schemex::cluster

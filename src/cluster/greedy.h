@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/distance.h"
+#include "typing/exec_options.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
 
@@ -69,13 +70,22 @@ struct ClusteringResult {
 /// classifying type s") step until `target_num_types` remain. After each
 /// coalescing, every rule body referencing s is rewritten to reference t
 /// (the hypercube projection of Example 5.1), so zero-distance follow-up
-/// merges cascade naturally.
+/// merges cascade naturally. Ties on cost break toward the lowest
+/// (source, dest) pair, with the empty-type move losing all ties.
 ///
 /// `weights[i]` is the number of objects whose home is Stage-1 type i.
 /// Fails if weights.size() != stage1.NumTypes() or target is out of range.
+///
+/// Distances run on the bit-parallel kernel (BitSignatureIndex); the
+/// all-pairs candidate scan and the per-merge distance/best-candidate
+/// maintenance shard across `exec` workers with a deterministic
+/// sequential reduce, so the merge sequence, snapshots, and final program
+/// are bit-identical for every thread count (the default ExecOptions is
+/// the sequential reference). exec.check_cancel is polled before every
+/// merge step; its status propagates verbatim.
 util::StatusOr<ClusteringResult> ClusterTypes(
     const typing::TypingProgram& stage1, const std::vector<uint32_t>& weights,
-    const ClusteringOptions& options);
+    const ClusteringOptions& options, const typing::ExecOptions& exec = {});
 
 }  // namespace schemex::cluster
 

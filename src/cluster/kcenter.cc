@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "cluster/distance.h"
+#include "util/parallel_for.h"
 #include "util/string_util.h"
 
 namespace schemex::cluster {
@@ -18,24 +19,37 @@ using typing::TypingProgram;
 
 util::StatusOr<KCenterResult> KCenterCluster(
     const TypingProgram& stage1, const std::vector<uint32_t>& weights,
-    size_t k) {
+    size_t k, const typing::ExecOptions& exec) {
   const size_t n = stage1.NumTypes();
   if (weights.size() != n) {
     return util::Status::InvalidArgument("weights must match type count");
   }
   if (k == 0) return util::Status::InvalidArgument("k must be >= 1");
   SCHEMEX_RETURN_IF_ERROR(stage1.Validate());
+  SCHEMEX_RETURN_IF_ERROR(exec.Poll());
   k = std::min(k, n);
 
-  // Pairwise simple distances.
-  std::vector<std::vector<size_t>> d(n, std::vector<size_t>(n, 0));
+  // Pairwise simple distances on the bit kernel, rows sharded; each
+  // unordered pair is owned by its lower row, so workers write disjoint
+  // cells of the (pre-sized) matrix.
+  BitSignatureIndex index(stage1);
+  std::vector<BitSignature> enc(n);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      d[i][j] = d[j][i] =
-          SimpleDistance(stage1.type(static_cast<TypeId>(i)).signature,
-                         stage1.type(static_cast<TypeId>(j)).signature);
-    }
+    enc[i] = index.Encode(stage1.type(static_cast<TypeId>(i)).signature);
   }
+  std::vector<std::vector<size_t>> d(n, std::vector<size_t>(n, 0));
+  {
+    util::PoolRef pool(exec.pool, exec.num_threads);
+    auto shards = util::ShardRanges(n, pool.num_threads());
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          d[i][j] = d[j][i] = BitSignatureIndex::Distance(enc[i], enc[j]);
+        }
+      }
+    });
+  }
+  SCHEMEX_RETURN_IF_ERROR(exec.Poll());
 
   // Farthest-point traversal (UNWEIGHTED, per the paper's variation).
   // Deterministic start: the type with the largest signature, ties to the

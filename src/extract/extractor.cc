@@ -106,11 +106,17 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
   ExtractionResult result;
   util::WallTimer total_timer;
 
-  // One pool for the whole run (Stage 1 shards its hashing and GFP phases
-  // on it); nullptr when the resolved parallelism is 1.
+  // One pool for the whole run — Stage 1 shards its hashing and GFP
+  // phases on it, Stage 2 its distance/best maintenance, Stage 3 its
+  // GFP, exact sweep, and fallback precompute; nullptr when the resolved
+  // parallelism is 1.
   size_t threads =
       ResolveParallelism(options_.parallelism, g.NumComplexObjects());
   util::PoolRef pool(nullptr, threads);
+  typing::ExecOptions exec;
+  exec.num_threads = threads;
+  exec.pool = pool.get();
+  exec.check_cancel = options_.check_cancel;
 
   // Stage 1.
   util::WallTimer stage_timer;
@@ -133,7 +139,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
     copt.enable_empty_type = options_.enable_empty_type;
     SCHEMEX_ASSIGN_OR_RETURN(
         result.clustering,
-        cluster::ClusterTypes(state.program, state.weights, copt));
+        cluster::ClusterTypes(state.program, state.weights, copt, exec));
     result.clustering_applied = true;
     result.final_program = result.clustering.final_program;
     result.final_homes = MapHomesThrough(state.homes,
@@ -151,7 +157,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
   SCHEMEX_ASSIGN_OR_RETURN(
       result.recast,
       typing::Recast(result.final_program, g, result.final_homes,
-                     options_.recast));
+                     options_.recast, exec));
 
   result.defect =
       typing::ComputeDefect(result.final_program, g, result.recast.assignment);
@@ -167,6 +173,10 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
   size_t threads =
       ResolveParallelism(options.parallelism, g.NumComplexObjects());
   util::PoolRef pool(nullptr, threads);
+  typing::ExecOptions exec;
+  exec.num_threads = threads;
+  exec.pool = pool.get();
+  exec.check_cancel = options.check_cancel;
   typing::PerfectTypingResult perfect;
   SCHEMEX_ASSIGN_OR_RETURN(perfect, RunStage1(options, g, pool.get(), threads));
   SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
@@ -183,7 +193,7 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
   copt.record_snapshots = true;
   SCHEMEX_ASSIGN_OR_RETURN(
       cluster::ClusteringResult clustering,
-      cluster::ClusterTypes(state.program, state.weights, copt));
+      cluster::ClusterTypes(state.program, state.weights, copt, exec));
 
   // Stage 3 + defect per snapshot.
   std::vector<SensitivityPoint> points;
@@ -194,7 +204,7 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
         MapHomesThrough(state.homes, snap.stage1_to_snapshot);
     SCHEMEX_ASSIGN_OR_RETURN(
         typing::RecastResult recast,
-        typing::Recast(snap.program, g, homes, options.recast));
+        typing::Recast(snap.program, g, homes, options.recast, exec));
     typing::DefectReport defect =
         typing::ComputeDefect(snap.program, g, recast.assignment);
     points.push_back(SensitivityPoint{snap.num_types, snap.total_distance,

@@ -42,8 +42,14 @@ IncrementalTyper::IncrementalTyper(TypingProgram program,
                                    TypeAssignment assignment)
     : program_(std::move(program)),
       graph_(std::move(base)),
-      assignment_(std::move(assignment)) {
+      assignment_(std::move(assignment)),
+      index_(program_) {
   assignment_.Resize(graph_.NumObjects());
+  type_encs_.resize(program_.NumTypes());
+  for (size_t t = 0; t < program_.NumTypes(); ++t) {
+    type_encs_[t] =
+        index_.EncodeFrozen(program_.type(static_cast<TypeId>(t)).signature);
+  }
 }
 
 util::StatusOr<IncrementalTyper::TypedObject> IncrementalTyper::AddAndType(
@@ -77,8 +83,9 @@ util::StatusOr<IncrementalTyper::TypedObject> IncrementalTyper::AddAndType(
     ++num_exact_;
     for (TypeId t : result.exact_types) assignment_.Assign(result.id, t);
   } else if (program_.NumTypes() > 0) {
-    result.fallback_type = NearestType(program_, graph_, assignment_,
-                                       result.id, &result.fallback_distance);
+    result.fallback_type =
+        NearestTypeIndexed(graph_, assignment_, result.id, index_, type_encs_,
+                           &result.fallback_distance);
     assignment_.Assign(result.id, result.fallback_type);
     total_fallback_distance_ += result.fallback_distance;
   }

@@ -7,6 +7,7 @@
 
 #include "graph/data_graph.h"
 #include "typing/assignment.h"
+#include "typing/bit_signature.h"
 #include "typing/recast.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -74,6 +75,12 @@ class IncrementalTyper {
   TypingProgram program_;
   graph::DataGraph graph_;
   TypeAssignment assignment_;
+  /// Bit kernel over the frozen program, built once: arrivals probe the
+  /// nearest type repeatedly against the same signatures, so the sorted
+  /// vectors are packed up front (links outside the program universe —
+  /// e.g. fresh labels on arrivals — ride in EncodeFrozen extras).
+  BitSignatureIndex index_;
+  std::vector<BitSignature> type_encs_;
   size_t num_added_ = 0;
   size_t num_exact_ = 0;
   size_t total_fallback_distance_ = 0;

@@ -1,5 +1,8 @@
 #include "typing/recast.h"
 
+#include "util/bitset.h"
+#include "util/parallel_for.h"
+
 namespace schemex::typing {
 
 TypeSignature ObjectPicture(graph::GraphView g,
@@ -40,45 +43,129 @@ TypeId NearestType(const TypingProgram& program, graph::GraphView g,
   return best;
 }
 
+TypeId NearestTypeIndexed(graph::GraphView g, const TypeAssignment& tau,
+                          graph::ObjectId o, const BitSignatureIndex& index,
+                          const std::vector<BitSignature>& type_encs,
+                          size_t* out_distance) {
+  BitSignature picture = index.EncodeFrozen(ObjectPicture(g, tau, o));
+  TypeId best = kInvalidType;
+  size_t best_d = 0;
+  for (size_t t = 0; t < type_encs.size(); ++t) {
+    size_t d = BitSignatureIndex::Distance(picture, type_encs[t]);
+    if (best == kInvalidType || d < best_d) {
+      best = static_cast<TypeId>(t);
+      best_d = d;
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best_d;
+  return best;
+}
+
 util::StatusOr<RecastResult> Recast(
     const TypingProgram& program, graph::GraphView g,
     const std::vector<std::vector<TypeId>>& homes,
-    const RecastOptions& options) {
+    const RecastOptions& options, const ExecOptions& exec) {
   RecastResult result;
-  SCHEMEX_ASSIGN_OR_RETURN(result.gfp, ComputeGfp(program, g));
+  SCHEMEX_ASSIGN_OR_RETURN(result.gfp, ComputeGfp(program, g, nullptr, exec));
 
-  result.assignment = TypeAssignment(g.NumObjects());
-  for (size_t o = 0; o < homes.size(); ++o) {
-    for (TypeId t : homes[o]) {
-      result.assignment.Assign(static_cast<graph::ObjectId>(o), t);
-    }
-  }
-  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
-    if (!g.IsComplex(o)) continue;
-    bool exact = false;
-    for (size_t t = 0; t < program.NumTypes(); ++t) {
-      if (result.gfp.Contains(static_cast<TypeId>(t), o)) {
-        exact = true;
-        if (options.add_gfp_types) {
-          result.assignment.Assign(o, static_cast<TypeId>(t));
+  const size_t num_objects = g.NumObjects();
+  util::PoolRef pool(exec.pool, exec.num_threads);
+  result.assignment = TypeAssignment(num_objects);
+
+  // Homes + exact GFP types. Each object's type row is written only by
+  // its shard; extents are read-only here, so shards are independent.
+  {
+    auto shards = util::ShardRanges(num_objects, pool.num_threads());
+    std::vector<size_t> shard_exact(shards.size(), 0);
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+        auto o = static_cast<graph::ObjectId>(i);
+        if (i < homes.size()) {
+          for (TypeId t : homes[i]) result.assignment.Assign(o, t);
         }
+        if (!g.IsComplex(o)) continue;
+        bool exact = false;
+        for (size_t t = 0; t < program.NumTypes(); ++t) {
+          if (result.gfp.Contains(static_cast<TypeId>(t), o)) {
+            exact = true;
+            if (options.add_gfp_types) {
+              result.assignment.Assign(o, static_cast<TypeId>(t));
+            }
+          }
+        }
+        if (exact) ++shard_exact[s];
       }
-    }
-    if (exact) ++result.num_exact;
+    });
+    for (size_t c : shard_exact) result.num_exact += c;
   }
+  SCHEMEX_RETURN_IF_ERROR(exec.Poll());
 
   // Fallback pass runs against the assignment built so far, so pictures of
   // stragglers see their neighbors' final types.
-  for (graph::ObjectId o = 0; o < g.NumObjects(); ++o) {
+  const bool fallback = options.nearest_type_fallback && program.NumTypes() > 0;
+  std::vector<graph::ObjectId> stragglers;
+  for (size_t i = 0; i < num_objects; ++i) {
+    auto o = static_cast<graph::ObjectId>(i);
     if (!g.IsComplex(o)) continue;
     if (!result.assignment.TypesOf(o).empty()) continue;
-    if (options.nearest_type_fallback && program.NumTypes() > 0) {
-      TypeId t = NearestType(program, g, result.assignment, o);
-      result.assignment.Assign(o, t);
-      ++result.num_fallback;
+    if (fallback) {
+      stragglers.push_back(o);
     } else {
       ++result.num_untyped;
     }
+  }
+  if (stragglers.empty()) return result;
+
+  // Speculative phase: every straggler's nearest type against the
+  // *pre-fallback* assignment, sharded on the bit kernel.
+  BitSignatureIndex index(program);
+  std::vector<BitSignature> type_encs(program.NumTypes());
+  for (size_t t = 0; t < program.NumTypes(); ++t) {
+    type_encs[t] =
+        index.EncodeFrozen(program.type(static_cast<TypeId>(t)).signature);
+  }
+  std::vector<TypeId> speculative(stragglers.size(), kInvalidType);
+  {
+    auto shards = util::ShardRanges(stragglers.size(), pool.num_threads());
+    util::RunShards(pool.get(), shards.size(), [&](size_t s) {
+      for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+        speculative[i] = NearestTypeIndexed(g, result.assignment,
+                                            stragglers[i], index, type_encs);
+      }
+    });
+  }
+
+  // Sequential reduce in object order. A speculative answer is stale only
+  // if some neighbor was fallback-assigned earlier in this pass (its
+  // picture gained a link); those recompute against the live assignment.
+  // A straggler is never its own neighbor here: its bit is set *after* it
+  // is typed, matching the sequential reference where an object's picture
+  // is taken before its own assignment.
+  util::DenseBitset assigned_in_pass(num_objects);
+  for (size_t i = 0; i < stragglers.size(); ++i) {
+    if (i % kGfpCancelPollInterval == 0) SCHEMEX_RETURN_IF_ERROR(exec.Poll());
+    graph::ObjectId o = stragglers[i];
+    bool stale = false;
+    for (const graph::HalfEdge& e : g.OutEdges(o)) {
+      if (!g.IsAtomic(e.other) && assigned_in_pass.Test(e.other)) {
+        stale = true;
+        break;
+      }
+    }
+    if (!stale) {
+      for (const graph::HalfEdge& e : g.InEdges(o)) {
+        if (assigned_in_pass.Test(e.other)) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    TypeId t = stale ? NearestTypeIndexed(g, result.assignment, o, index,
+                                          type_encs)
+                     : speculative[i];
+    result.assignment.Assign(o, t);
+    assigned_in_pass.Set(o);
+    ++result.num_fallback;
   }
   return result;
 }

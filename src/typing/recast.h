@@ -6,6 +6,8 @@
 
 #include "graph/graph_view.h"
 #include "typing/assignment.h"
+#include "typing/bit_signature.h"
+#include "typing/exec_options.h"
 #include "typing/gfp.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
@@ -43,10 +45,20 @@ struct RecastResult {
 /// (`homes`, possibly empty per object — e.g. objects moved to the empty
 /// type by clustering), gains all types it satisfies exactly (GFP), and,
 /// failing everything, the nearest type by d.
+///
+/// `exec` parallelizes the GFP (see ComputeGfp), the home/exact sweep
+/// (per-object rows are disjoint), and the nearest-type fallback. The
+/// fallback preserves its sequential semantics — stragglers' pictures see
+/// earlier stragglers' final types — by precomputing every nearest type
+/// against the pre-fallback assignment in sharded workers, then reducing
+/// in object order and recomputing only the stragglers with a neighbor
+/// assigned earlier in the pass. Results are bit-identical for every
+/// thread count. exec.check_cancel is polled between phases and every
+/// kGfpCancelPollInterval stragglers.
 util::StatusOr<RecastResult> Recast(
     const TypingProgram& program, graph::GraphView g,
     const std::vector<std::vector<TypeId>>& homes,
-    const RecastOptions& options = {});
+    const RecastOptions& options = {}, const ExecOptions& exec = {});
 
 /// The local picture of `o` expressed over `tau`: one ->l^0 per edge to an
 /// atomic object, one ->l^t / <-l^t per edge to/from a complex neighbor
@@ -62,6 +74,18 @@ TypeSignature ObjectPicture(graph::GraphView g,
 TypeId NearestType(const TypingProgram& program, graph::GraphView g,
                    const TypeAssignment& tau, graph::ObjectId o,
                    size_t* out_distance = nullptr);
+
+/// NearestType on the bit kernel: `index` spans (at least) the program's
+/// typed links and `type_encs` holds the program signatures encoded by it
+/// (one per type, in type order). Out-of-universe picture links are
+/// tallied via EncodeFrozen extras, so the result — including the
+/// tie-break toward the lowest type id — is identical to NearestType.
+/// Callers that probe repeatedly (the Recast fallback, IncrementalTyper)
+/// build the index once instead of re-merging sorted vectors per probe.
+TypeId NearestTypeIndexed(graph::GraphView g, const TypeAssignment& tau,
+                          graph::ObjectId o, const BitSignatureIndex& index,
+                          const std::vector<BitSignature>& type_encs,
+                          size_t* out_distance = nullptr);
 
 }  // namespace schemex::typing
 

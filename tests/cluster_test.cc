@@ -305,6 +305,106 @@ TEST(ClusterTest, TargetAboveNIsANoOp) {
   EXPECT_EQ(r.total_distance, 0.0);
 }
 
+/// A type can legitimately carry weight 0 — e.g. a roles-decomposed type
+/// whose objects all live in other roles. Every psi kind must clamp
+/// weights below at 1 (and the virtual empty type's starting weight of 0
+/// likewise), with and without the empty type enabled.
+class PsiZeroWeightTest : public ::testing::TestWithParam<PsiKind> {
+ protected:
+  TypingProgram MakeProgram() {
+    TypingProgram p;
+    p.AddType("w0", TypeSignature::FromLinks(
+                        {TypedLink::OutAtomic(labels_.Intern("x1")),
+                         TypedLink::OutAtomic(labels_.Intern("x2"))}));
+    p.AddType("t1", TypeSignature::FromLinks(
+                        {TypedLink::OutAtomic(labels_.Intern("a"))}));
+    p.AddType("t2", TypeSignature::FromLinks(
+                        {TypedLink::OutAtomic(labels_.Intern("a")),
+                         TypedLink::OutAtomic(labels_.Intern("b"))}));
+    return p;
+  }
+  graph::LabelInterner labels_;
+};
+
+TEST_P(PsiZeroWeightTest, ZeroWeightTypesClusterSafely) {
+  TypingProgram p = MakeProgram();
+  for (bool empty : {true, false}) {
+    ClusteringOptions opt;
+    opt.psi = GetParam();
+    opt.target_num_types = 1;
+    opt.enable_empty_type = empty;
+    ASSERT_OK_AND_ASSIGN(ClusteringResult r, ClusterTypes(p, {0, 5, 7}, opt));
+    for (const MergeStep& s : r.steps) {
+      // A chosen step is never priced at infinity (infinite candidates
+      // never win) and never NaN (clamping keeps 0-weight ratios finite).
+      EXPECT_TRUE(std::isfinite(s.cost)) << PsiKindName(GetParam());
+      EXPECT_GE(s.cost, 0.0) << PsiKindName(GetParam());
+    }
+    ASSERT_OK(r.final_program.Validate());
+    uint64_t total = 0;
+    for (uint64_t w : r.final_weights) total += w;
+    EXPECT_LE(total, 12u);  // the w=0 type adds nothing anywhere it lands
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PsiZeroWeightTest,
+                         ::testing::Values(PsiKind::kSimpleD, PsiKind::kPsi1,
+                                           PsiKind::kPsi2, PsiKind::kPsi3,
+                                           PsiKind::kPsi4, PsiKind::kPsi5),
+                         [](const ::testing::TestParamInfo<PsiKind>& info) {
+                           return std::string(PsiKindName(info.param));
+                         });
+
+TEST(ClusterTest, EmptyMoveClampsBothWeightsPsi3) {
+  // psi3 = (w1*w2)^(1/d). Moving the zero-weight type to the (weight-0)
+  // empty type clamps both sides to 1: cost = (1*1)^(1/2) = 1, cheaper
+  // than any real merge here — pinning the clamp exactly.
+  graph::LabelInterner labels;
+  TypingProgram p;
+  p.AddType("w0", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("x1")),
+                       TypedLink::OutAtomic(labels.Intern("x2"))}));
+  p.AddType("t1", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("a"))}));
+  p.AddType("t2", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("a")),
+                       TypedLink::OutAtomic(labels.Intern("b"))}));
+  ClusteringOptions opt;
+  opt.psi = PsiKind::kPsi3;
+  opt.target_num_types = 2;
+  ASSERT_OK_AND_ASSIGN(ClusteringResult r, ClusterTypes(p, {0, 5, 7}, opt));
+  ASSERT_EQ(r.steps.size(), 1u);
+  EXPECT_EQ(r.steps[0].source, 0);
+  EXPECT_EQ(r.steps[0].dest, kEmptyType);
+  EXPECT_DOUBLE_EQ(r.steps[0].cost, 1.0);
+}
+
+TEST(ClusterTest, EmptyMoveClampsDestWeightPsi4) {
+  // psi4 = L^d * w2. Moving the single-link w=0 type into the empty type
+  // clamps the empty type's weight 0 to 1: cost = 4^1 * 1 = 4, strictly
+  // below every real merge and every larger empty move.
+  graph::LabelInterner labels;
+  TypingProgram p;
+  p.AddType("w0", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("x1"))}));
+  p.AddType("t1", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("a")),
+                       TypedLink::OutAtomic(labels.Intern("b"))}));
+  p.AddType("t2", TypeSignature::FromLinks(
+                      {TypedLink::OutAtomic(labels.Intern("a")),
+                       TypedLink::OutAtomic(labels.Intern("b")),
+                       TypedLink::OutAtomic(labels.Intern("c"))}));
+  ASSERT_EQ(p.NumDistinctTypedLinks(), 4u);
+  ClusteringOptions opt;
+  opt.psi = PsiKind::kPsi4;
+  opt.target_num_types = 2;
+  ASSERT_OK_AND_ASSIGN(ClusteringResult r, ClusterTypes(p, {0, 5, 7}, opt));
+  ASSERT_EQ(r.steps.size(), 1u);
+  EXPECT_EQ(r.steps[0].source, 0);
+  EXPECT_EQ(r.steps[0].dest, kEmptyType);
+  EXPECT_DOUBLE_EQ(r.steps[0].cost, 4.0);
+}
+
 TEST(ClusterTest, DeterministicAcrossRuns) {
   graph::LabelInterner labels;
   TypingProgram p;

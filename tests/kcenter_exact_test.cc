@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/exact.h"
 #include "cluster/greedy.h"
 #include "cluster/kcenter.h"
@@ -170,6 +172,70 @@ TEST(ExactTest, SingleTypeInstance) {
   ASSERT_OK_AND_ASSIGN(ExactResult r, ExactOptimalTyping(g, stage1, opt));
   EXPECT_EQ(r.defect, 0u);
   EXPECT_EQ(r.program.NumTypes(), 1u);
+}
+
+TEST(KCenterTest, AllZeroWeightsFallBackToLowestIdMedoid) {
+  // Weights only steer medoid selection; the traversal is unweighted. With
+  // every weight 0 all medoid costs tie at 0 and the scan keeps the first
+  // (lowest stage-1 id) member of each cluster — the 2-link core here.
+  graph::LabelInterner labels;
+  TypingProgram p = ThreeGroups(&labels);
+  ASSERT_OK_AND_ASSIGN(KCenterResult r,
+                       KCenterCluster(p, {0, 0, 0, 0, 0, 0}, 3));
+  EXPECT_EQ(r.program.NumTypes(), 3u);
+  EXPECT_EQ(r.radius, 1u);
+  EXPECT_EQ(r.map[0], r.map[1]);
+  EXPECT_EQ(r.map[2], r.map[3]);
+  EXPECT_EQ(r.map[4], r.map[5]);
+  for (TypeId m : r.medoids) {
+    EXPECT_EQ(m % 2, 0) << "medoid must be the even (first) group member";
+    EXPECT_EQ(p.type(m).signature.size(), 2u);
+  }
+  for (uint64_t w : r.weights) EXPECT_EQ(w, 0u);
+  ASSERT_OK(r.program.Validate());
+  // Deterministic: a second run reproduces the result exactly.
+  ASSERT_OK_AND_ASSIGN(KCenterResult r2,
+                       KCenterCluster(p, {0, 0, 0, 0, 0, 0}, 3));
+  EXPECT_EQ(r.medoids, r2.medoids);
+  EXPECT_EQ(r.map, r2.map);
+  EXPECT_TRUE(r.program == r2.program);
+}
+
+TEST(KCenterTest, ZeroWeightMembersLoseMedoidElections) {
+  // A zero-weight member contributes nothing to any medoid cost, so the
+  // weighted sibling wins the definition even though the traversal (which
+  // ignores weights) may have centered on either.
+  graph::LabelInterner labels;
+  TypingProgram p = ThreeGroups(&labels);
+  ASSERT_OK_AND_ASSIGN(KCenterResult r,
+                       KCenterCluster(p, {0, 5, 0, 5, 0, 5}, 3));
+  EXPECT_EQ(r.program.NumTypes(), 3u);
+  for (TypeId m : r.medoids) {
+    EXPECT_EQ(m % 2, 1) << "weighted satellite must win the election";
+    EXPECT_EQ(p.type(m).signature.size(), 3u);
+  }
+  uint64_t total = 0;
+  for (uint64_t w : r.weights) total += w;
+  EXPECT_EQ(total, 15u);
+  ASSERT_OK(r.program.Validate());
+}
+
+TEST(ExactTest, AllZeroWeightsStillEnumerate) {
+  // Zero weights collapse every medoid election to a tie (first member
+  // wins) but must not break the partition search itself.
+  graph::DataGraph g = test::MakeFigure4Database();
+  ASSERT_OK_AND_ASSIGN(typing::PerfectTypingResult stage1,
+                       typing::PerfectTypingViaGfp(g));
+  std::fill(stage1.weight.begin(), stage1.weight.end(), 0u);
+  ExactOptions opt;
+  opt.k = 2;
+  ASSERT_OK_AND_ASSIGN(ExactResult r, ExactOptimalTyping(g, stage1, opt));
+  EXPECT_GT(r.partitions_tried, 0u);
+  EXPECT_LE(r.program.NumTypes(), 2u);
+  ASSERT_OK(r.program.Validate());
+  ASSERT_OK_AND_ASSIGN(ExactResult r2, ExactOptimalTyping(g, stage1, opt));
+  EXPECT_EQ(r.defect, r2.defect);
+  EXPECT_TRUE(r.program == r2.program);
 }
 
 TEST(ExactTest, KOneForcesFullMerge) {
