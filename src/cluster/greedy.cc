@@ -363,7 +363,9 @@ class GreedyClusterer {
   std::vector<std::string> names_;
   std::vector<TypeSignature> sig_;
   BitSignatureIndex index_;
-  std::vector<BitSignature> enc_;  // sig_[i] on the bit kernel, kept fresh
+  // sig_[i] on the bit kernel, kept fresh. OWNER: index_ (bit positions
+  // are only meaningful against the index that assigned them).
+  std::vector<BitSignature> enc_;
   std::vector<double> weight_;
   std::vector<uint64_t> initial_weight_;
   std::vector<bool> alive_;

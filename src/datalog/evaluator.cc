@@ -203,6 +203,8 @@ class BodySolver {
   }
 
   const Rule& rule_;
+  // OWNER: the graph passed to Evaluate(); a RuleEvaluator is stack-local
+  // to one Evaluate() call and never outlives it.
   graph::GraphView g_;
   const Interpretation& m_;
   std::vector<graph::ObjectId> obj_binding_;

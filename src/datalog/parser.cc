@@ -117,6 +117,8 @@ class Lexer {
         util::StringPrintf("line %zu: %s", line_, why));
   }
 
+  // OWNER: the ParseProgram() argument; the lexer is stack-local to one
+  // parse and tokens borrow from the same buffer.
   std::string_view text_;
   size_t pos_ = 0;
   size_t line_ = 1;

@@ -124,13 +124,13 @@ class FrozenGraph {
   /// == 2*num_objects+1, text_off.back() == arena.size(),
   /// atomic_words.size() == ceil(num_objects/64) with zero tail bits.
   struct Parts {
-    std::span<const uint64_t> out_off;
-    std::span<const uint64_t> in_off;
-    std::span<const uint64_t> text_off;
-    std::span<const uint64_t> atomic_words;
-    std::span<const HalfEdge> out_edges;
-    std::span<const HalfEdge> in_edges;
-    std::string_view arena;
+    std::span<const uint64_t> out_off;        // OWNER: source graph backing_
+    std::span<const uint64_t> in_off;         // OWNER: source graph backing_
+    std::span<const uint64_t> text_off;       // OWNER: source graph backing_
+    std::span<const uint64_t> atomic_words;   // OWNER: source graph backing_
+    std::span<const HalfEdge> out_edges;      // OWNER: source graph backing_
+    std::span<const HalfEdge> in_edges;       // OWNER: source graph backing_
+    std::string_view arena;                   // OWNER: source graph backing_
   };
   Parts parts() const;
 
@@ -173,13 +173,13 @@ class FrozenGraph {
   // Read-only views into `backing_` (owned heap arrays or a mapped
   // snapshot). atomic_words_ is a dense bitset, one bit per object,
   // 64 objects per word, tail bits zero.
-  std::span<const uint64_t> out_off_;
-  std::span<const uint64_t> in_off_;
-  std::span<const uint64_t> text_off_;
-  std::span<const uint64_t> atomic_words_;
-  std::span<const HalfEdge> out_edges_;
-  std::span<const HalfEdge> in_edges_;
-  std::string_view arena_;
+  std::span<const uint64_t> out_off_;       // OWNER: backing_
+  std::span<const uint64_t> in_off_;        // OWNER: backing_
+  std::span<const uint64_t> text_off_;      // OWNER: backing_
+  std::span<const uint64_t> atomic_words_;  // OWNER: backing_
+  std::span<const HalfEdge> out_edges_;     // OWNER: backing_
+  std::span<const HalfEdge> in_edges_;      // OWNER: backing_
+  std::string_view arena_;                  // OWNER: backing_
 
   std::shared_ptr<const void> backing_;
   size_t owned_bytes_ = 0;

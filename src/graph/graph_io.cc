@@ -1,7 +1,6 @@
 #include "graph/graph_io.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph_builder.h"
@@ -81,11 +80,15 @@ std::string WriteGraph(GraphView g) {
   for (ObjectId o = 0; o < g.NumObjects(); ++o) {
     // Canonical order: by label *name* (label ids depend on interning
     // order, which a round-trip does not preserve), then by target id.
+    // DETERMINISM: (name, target) is a total order over out-edges, so the
+    // serialized form is identical regardless of builder insertion order.
     std::vector<HalfEdge> edges(g.OutEdges(o).begin(), g.OutEdges(o).end());
     std::stable_sort(edges.begin(), edges.end(),
                      [&](const HalfEdge& a, const HalfEdge& b) {
-                       return g.labels().Name(a.label) <
-                              g.labels().Name(b.label);
+                       std::string_view an = g.labels().Name(a.label);
+                       std::string_view bn = g.labels().Name(b.label);
+                       if (an != bn) return an < bn;
+                       return a.other < b.other;
                      });
     for (const HalfEdge& e : edges) {
       out += "edge " + DisplayName(g, o) + " " + g.labels().Name(e.label) +

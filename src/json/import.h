@@ -25,6 +25,8 @@ namespace schemex::json {
 /// becomes the classic "many similar objects" workload of the paper's
 /// introduction.
 struct ImportOptions {
+  // OWNER: caller (the default binds a string literal); must outlive the
+  // Import* call, which interns the label before returning.
   std::string_view root_label = "item";
 };
 

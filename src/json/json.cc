@@ -239,6 +239,8 @@ class Parser {
     }
   }
 
+  // OWNER: the Parse() argument; the parser is stack-local to one call
+  // and copies out every string it returns.
   std::string_view text_;
   size_t pos_ = 0;
 };

@@ -80,6 +80,8 @@ class IncrementalTyper {
   /// vectors are packed up front (links outside the program universe —
   /// e.g. fresh labels on arrivals — ride in EncodeFrozen extras).
   BitSignatureIndex index_;
+  // OWNER: index_ (bit positions decode only against the index that
+  // assigned them; both are rebuilt together on Reset).
   std::vector<BitSignature> type_encs_;
   size_t num_added_ = 0;
   size_t num_exact_ = 0;

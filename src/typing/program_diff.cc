@@ -41,6 +41,8 @@ ProgramDiff DiffPrograms(const TypingProgram& before,
                                      static_cast<TypeId>(ai), best_d});
     diff.total_drift += best_d;
   }
+  // DETERMINISM: each `before` id is matched at most once (used_b guard),
+  // so the key is unique and the order is total.
   std::sort(diff.matched.begin(), diff.matched.end(),
             [](const TypeMatch& x, const TypeMatch& y) {
               return x.before < y.before;

@@ -50,8 +50,13 @@ RoleDecomposition DecomposeRoles(const TypingProgram& program,
   // decided before any type it could cover.
   std::vector<TypeId> order(n);
   std::iota(order.begin(), order.end(), 0);
+  // DETERMINISM: signature sizes tie frequently; without the TypeId
+  // tiebreak the cover assignment below would depend on sort internals.
   std::sort(order.begin(), order.end(), [&](TypeId a, TypeId b) {
-    return program.type(a).signature.size() > program.type(b).signature.size();
+    size_t sa = program.type(a).signature.size();
+    size_t sb = program.type(b).signature.size();
+    if (sa != sb) return sa > sb;
+    return a < b;
   });
 
   for (TypeId t : order) {

@@ -21,6 +21,8 @@ namespace schemex::xml {
 ///    atomic object (so <name>Gates</name> is one atomic reached via a
 ///    "name" edge, matching the paper's modeling of record fields).
 struct XmlImportOptions {
+  // OWNER: caller (the default binds a string literal); must outlive the
+  // Import* call, which interns the label before returning.
   std::string_view text_label = "text";
   bool collapse_text_leaves = true;
 };

@@ -208,6 +208,8 @@ class Parser {
     }
   }
 
+  // OWNER: the Parse() argument; the parser is stack-local to one call
+  // and copies out names, attributes, and decoded text.
   std::string_view text_;
   size_t pos_ = 0;
 };

@@ -1,0 +1,214 @@
+// Determinism regression suite: the pipeline must be *bit-identical*
+// across repeated runs and across parallelism settings (ExtractorOptions
+// documents parallelism as "only trades wall-clock for cores"). Pins
+//  * the extract response JSON (minus wall-clock "timings"),
+//  * the saved workspace artifacts — schema.dl text, snapshot.bin
+//    bytes, graph.sxg, assignment.tsv — byte for byte,
+//  * WriteTypingProgram and snapshot::Write outputs across independent
+//    extractions and freezes (the graph's process-unique id() must not
+//    leak into serialized bytes).
+// A failure here means something ordered by address, hash-bucket walk,
+// or thread arrival slipped back in; see docs/static-analysis.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/workspace.h"
+#include "extract/extractor.h"
+#include "gen/dbg.h"
+#include "graph/frozen_graph.h"
+#include "service/server.h"
+#include "snapshot/snapshot.h"
+#include "tests/test_util.h"
+#include "typing/program_io.h"
+
+namespace schemex {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Removes the "timings" object (wall-clock stage durations, the one
+/// legitimately run-varying part) from an extract response line.
+std::string StripTimings(std::string line) {
+  const std::string key = "\"timings\":";
+  size_t pos = line.find(key);
+  if (pos == std::string::npos) return line;
+  size_t open = line.find('{', pos);
+  EXPECT_NE(open, std::string::npos) << line;
+  size_t depth = 0, end = open;
+  for (; end < line.size(); ++end) {
+    if (line[end] == '{') ++depth;
+    if (line[end] == '}' && --depth == 0) break;
+  }
+  EXPECT_LT(end, line.size()) << line;
+  // Erase the member plus whichever side's comma kept the JSON valid.
+  size_t begin = pos;
+  if (begin > 0 && line[begin - 1] == ',') {
+    --begin;
+  } else if (end + 1 < line.size() && line[end + 1] == ',') {
+    ++end;
+  }
+  line.erase(begin, end + 1 - begin);
+  return line;
+}
+
+/// Every regular file under `dir`, as relative-path -> raw bytes.
+std::map<std::string, std::string> ReadDirBytes(const fs::path& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    out[fs::relative(entry.path(), dir).string()] = std::move(bytes);
+  }
+  return out;
+}
+
+catalog::Workspace MakeDbgWorkspace(uint64_t seed = 3) {
+  auto g = gen::MakeDbgDataset(seed);
+  EXPECT_TRUE(g.ok());
+  extract::ExtractorOptions opt;
+  opt.target_num_types = 6;
+  auto r = extract::SchemaExtractor(opt).Run(*g);
+  EXPECT_TRUE(r.ok());
+  catalog::Workspace ws;
+  ws.SetGraph(*g);
+  ws.program = r->final_program;
+  ws.assignment = r->recast.assignment;
+  return ws;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("schemex_determinism_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+/// One cold server: load the saved workspace, re-extract at the given
+/// parallelism, persist to save_dir. Returns the timing-stripped
+/// response line.
+std::string RunServerExtract(const fs::path& load_dir,
+                             const fs::path& save_dir,
+                             uint64_t parallelism) {
+  service::Server server;
+  std::string load = server.HandleJsonLine(
+      "{\"id\":1,\"verb\":\"load_workspace\",\"params\":{\"name\":\"dbg\","
+      "\"dir\":\"" + load_dir.string() + "\"}}");
+  EXPECT_NE(load.find("\"ok\":true"), std::string::npos) << load;
+  std::string resp = server.HandleJsonLine(
+      "{\"id\":2,\"verb\":\"extract\",\"params\":{\"workspace\":\"dbg\","
+      "\"k\":6,\"parallelism\":" + std::to_string(parallelism) +
+      ",\"save_dir\":\"" + save_dir.string() + "\"}}");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  return StripTimings(resp);
+}
+
+TEST_F(DeterminismTest, ExtractResponseAndArtifactsAcrossRunsAndThreads) {
+  catalog::Workspace ws = MakeDbgWorkspace();
+  ASSERT_OK(catalog::SaveWorkspace(ws, (dir_ / "seed").string()));
+
+  // Two repeats at each parallelism: run-to-run AND thread-count drift
+  // both land in the same comparison.
+  const uint64_t kParallelism[] = {1, 1, 4, 4};
+  std::vector<std::string> responses;
+  std::vector<std::map<std::string, std::string>> artifacts;
+  for (size_t i = 0; i < 4; ++i) {
+    fs::path out = dir_ / ("out" + std::to_string(i));
+    std::string resp = RunServerExtract(dir_ / "seed", out,
+                                        kParallelism[i]);
+    // The per-run save_dir is echoed back as "saved_to"; neutralize it
+    // so the comparison sees only pipeline output.
+    size_t at = resp.find(out.string());
+    ASSERT_NE(at, std::string::npos) << resp;
+    resp.replace(at, out.string().size(), "<save_dir>");
+    responses.push_back(std::move(resp));
+    artifacts.push_back(ReadDirBytes(out));
+  }
+
+  ASSERT_NE(responses[0].find("\"num_final_types\""), std::string::npos)
+      << responses[0];
+  EXPECT_EQ(responses[0].find("timings"), std::string::npos)
+      << "StripTimings left timings behind: " << responses[0];
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(responses[0], responses[i])
+        << "extract response drifted (run 0 vs run " << i << ", p="
+        << kParallelism[i] << ")";
+  }
+
+  // schema.dl / snapshot.bin / graph.sxg / assignment.tsv, byte-equal.
+  ASSERT_EQ(artifacts[0].count("schema.dl"), 1u);
+  ASSERT_EQ(artifacts[0].count("snapshot.bin"), 1u);
+  for (size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(artifacts[0].size(), artifacts[i].size());
+    for (const auto& [name, bytes] : artifacts[0]) {
+      ASSERT_EQ(artifacts[i].count(name), 1u) << name;
+      EXPECT_EQ(bytes, artifacts[i].at(name))
+          << name << " drifted (run 0 vs run " << i << ", p="
+          << kParallelism[i] << ")";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, SchemaTextIdenticalAcrossIndependentExtractions) {
+  // Independent dataset builds + extractions (sequential vs 4 workers)
+  // must serialize to the same datalog text.
+  std::vector<std::string> texts;
+  for (size_t parallelism : {1, 4, 1, 4}) {
+    auto g = gen::MakeDbgDataset(7);
+    ASSERT_TRUE(g.ok());
+    extract::ExtractorOptions opt;
+    opt.target_num_types = 5;
+    opt.parallelism = parallelism;
+    auto r = extract::SchemaExtractor(opt).Run(*g);
+    ASSERT_TRUE(r.ok());
+    texts.push_back(
+        typing::WriteTypingProgram(r->final_program, g->labels()));
+  }
+  for (size_t i = 1; i < texts.size(); ++i) {
+    EXPECT_EQ(texts[0], texts[i]) << "schema.dl text drifted (run " << i
+                                  << ")";
+  }
+}
+
+TEST_F(DeterminismTest, SnapshotBytesIdenticalAcrossIndependentFreezes) {
+  // Two separately generated + frozen graphs of the same seed must write
+  // identical snapshots in both encodings. Also proves the freeze-time
+  // process-unique graph id() stays out of the file.
+  for (bool compact : {false, true}) {
+    std::vector<std::string> files;
+    for (int run = 0; run < 2; ++run) {
+      auto g = gen::MakeDbgDataset(11);
+      ASSERT_TRUE(g.ok());
+      auto frozen = graph::Freeze(*g);
+      fs::path p = dir_ / ("snap" + std::to_string(run) +
+                           (compact ? "c" : "r") + ".bin");
+      snapshot::WriteOptions wo;
+      wo.compact = compact;
+      ASSERT_OK(snapshot::Write(*frozen, p.string(), wo));
+      std::ifstream in(p, std::ios::binary);
+      files.emplace_back((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+      ASSERT_FALSE(files.back().empty());
+    }
+    EXPECT_EQ(files[0], files[1])
+        << "snapshot bytes drifted (compact=" << compact << ")";
+  }
+}
+
+}  // namespace
+}  // namespace schemex

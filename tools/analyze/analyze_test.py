@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Tests for schemex-analyze against the checked-in fixtures.
+
+Copies tools/analyze/fixtures/ into a temporary fake repo root and runs
+schemex_analyze.py --root over it as a subprocess (the same way CI and
+ctest run it), once per *available* backend — lexical always, libclang
+when loadable. Both backends must produce the IDENTICAL finding set:
+that contract is what lets CI run the clang backend while local
+machines run the lexical one against the same zero-finding budget.
+
+Asserts, per backend:
+  * every planted violation fires, with the right rule, file, and line;
+  * nothing else fires (clean fixtures, annotated sites, out-of-scope
+    dirs, and honored ANALYZE-SKIPs stay silent);
+  * exit codes: 1 with findings, 0 for a clean tree.
+
+Run directly or via `ctest -L lint`.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ANALYZE_DIR = os.path.dirname(os.path.abspath(__file__))
+ANALYZER = os.path.join(ANALYZE_DIR, "schemex_analyze.py")
+FIXTURES = os.path.join(ANALYZE_DIR, "fixtures")
+
+# (relative path, line, rule) — must match the VIOLATION markers in the
+# fixture files exactly. Update both together.
+EXPECTED = {
+    ("src/typing/nondet_iter_bad.cc", 17, "nondeterministic-iteration"),
+    ("src/typing/nondet_iter_bad.cc", 23, "nondeterministic-iteration"),
+    ("src/typing/nondet_iter_bad.cc", 30, "nondeterministic-iteration"),
+    ("src/cluster/sort_ties_bad.cc", 14, "unstable-sort-on-ties"),
+    ("src/demo/view_escape_bad.h", 30, "view-escape"),
+    ("src/demo/view_escape_bad.h", 31, "view-escape"),
+    ("src/demo/view_escape_bad.h", 32, "view-escape"),
+    ("src/demo/view_escape_bad.h", 33, "view-escape"),
+    ("src/demo/view_escape_bad.h", 37, "view-escape"),
+    ("src/demo/rand_bad.cc", 11, "unseeded-randomness"),
+    ("src/demo/rand_bad.cc", 17, "unseeded-randomness"),
+    ("src/demo/rand_bad.cc", 21, "unseeded-randomness"),
+    ("src/demo/skip_in_src_bad.cc", 9, "unseeded-randomness"),
+    ("src/demo/skip_in_src_bad.cc", 9, "no-suppression"),
+}
+
+# Files that must produce zero findings despite containing tokens the
+# rules look for (clean idiom, annotations, scope exemptions).
+MUST_BE_SILENT = (
+    "src/typing/nondet_iter_good.cc",
+    "src/cluster/sort_ties_good.cc",
+    "src/demo/view_escape_good.h",
+    "bench/bench_skip_ok.cc",
+    "tests/test_out_of_scope.cc",
+)
+
+BAD_FILES = (
+    "src/typing/nondet_iter_bad.cc",
+    "src/cluster/sort_ties_bad.cc",
+    "src/demo/view_escape_bad.h",
+    "src/demo/rand_bad.cc",
+    "src/demo/skip_in_src_bad.cc",
+)
+
+
+def available_backends():
+    backends = ["lexical"]
+    sys.path.insert(0, ANALYZE_DIR)
+    import clang_backend  # noqa: E402
+    ok, why = clang_backend.available()
+    if ok:
+        backends.append("clang")
+    else:
+        print(f"note: clang backend not tested here ({why})")
+    return backends
+
+
+def run_analyzer(root: str, backend: str):
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--root", root, "--backend", backend],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        # path:line: [rule] message
+        head, _, rest = line.partition(": [")
+        rule = rest.split("]", 1)[0]
+        path, _, lineno = head.rpartition(":")
+        findings.add((path.replace(os.sep, "/"), int(lineno), rule))
+    return proc.returncode, findings, proc
+
+
+def fail(msg: str, proc) -> None:
+    sys.stderr.write(f"FAIL: {msg}\n")
+    sys.stderr.write("--- analyzer stdout ---\n" + proc.stdout)
+    sys.stderr.write("--- analyzer stderr ---\n" + proc.stderr)
+    sys.exit(1)
+
+
+def check_backend(backend: str) -> None:
+    with tempfile.TemporaryDirectory(prefix="schemex_analyze_test_") as tmp:
+        # Fixture tree with planted violations.
+        shutil.copytree(FIXTURES, tmp, dirs_exist_ok=True)
+        rc, findings, proc = run_analyzer(tmp, backend)
+        if rc != 1:
+            fail(f"[{backend}] expected exit 1 on fixture tree, got {rc}",
+                 proc)
+        missing = EXPECTED - findings
+        if missing:
+            fail(f"[{backend}] planted violations did not fire: "
+                 f"{sorted(missing)}", proc)
+        extra = findings - EXPECTED
+        if extra:
+            fail(f"[{backend}] unexpected findings: {sorted(extra)}", proc)
+        noisy = [f for f in findings if f[0] in MUST_BE_SILENT]
+        if noisy:
+            fail(f"[{backend}] findings in must-be-silent files: "
+                 f"{sorted(noisy)}", proc)
+        print(f"[{backend}] fixture tree: all {len(EXPECTED)} planted "
+              "violations fired, nothing else")
+
+    with tempfile.TemporaryDirectory(prefix="schemex_analyze_test_") as tmp:
+        # Clean tree: the same fixtures minus the violation files.
+        shutil.copytree(FIXTURES, tmp, dirs_exist_ok=True)
+        for f in BAD_FILES:
+            os.remove(os.path.join(tmp, *f.split("/")))
+        rc, findings, proc = run_analyzer(tmp, backend)
+        if rc != 0 or findings:
+            fail(f"[{backend}] expected clean pass, got exit {rc}, "
+                 f"findings {sorted(findings)}", proc)
+        print(f"[{backend}] clean tree: exit 0, no findings")
+
+
+def main() -> int:
+    for backend in available_backends():
+        check_backend(backend)
+    print("analyze_test: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""A small C++ lexer for schemex-analyze's lexical backend.
+
+Produces a flat token stream (identifier / number / string / char /
+punctuation, each with a 1-based line number) plus a per-line comment
+map used for annotation lookup (// DETERMINISM: / // OWNER:). It is not
+a preprocessor: macros are lexed as ordinary tokens, #include paths as
+string literals. That is exactly enough for the fact extractors in
+lex_backend.py, which match local token shapes rather than full syntax.
+
+Handled precisely, because getting them wrong corrupts everything
+downstream: line comments, block comments (multi-line), string and
+character literals with escapes, and raw string literals
+R"delim(...)delim". Only two multi-character punctuators are fused,
+`::` and `->`, because the extractors need member/scope chains; all
+other operators arrive as single characters (so `>>` closes two
+template argument lists, as in C++11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def lex(text: str) -> Tuple[List[Token], Dict[int, str]]:
+    """Returns (tokens, comments) where comments maps a line number to
+    the concatenated comment text that appears on that line."""
+    tokens: List[Token] = []
+    comments: Dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def add_comment(ln: int, body: str) -> None:
+        comments[ln] = comments.get(ln, "") + body
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            add_comment(line, text[i:j])
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            body = text[i:end]
+            for k, part in enumerate(body.split("\n")):
+                if part.strip():
+                    add_comment(line + k, part)
+            line += body.count("\n")
+            i = end
+            continue
+        # Raw string literal: R"delim( ... )delim"  (also u8R"..., LR"...).
+        if c in "uULR":
+            # Peek an identifier; it may be a raw-string prefix.
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            word = text[i:j]
+            if (word in ("R", "u8R", "uR", "UR", "LR") and j < n
+                    and text[j] == '"'):
+                k = text.find("(", j + 1)
+                if k != -1:
+                    delim = text[j + 1:k]
+                    close = ")" + delim + '"'
+                    end = text.find(close, k + 1)
+                    end = n if end == -1 else end + len(close)
+                    body = text[i:end]
+                    tokens.append(Token(STRING, body, line))
+                    line += body.count("\n")
+                    i = end
+                    continue
+            tokens.append(Token(IDENT, word, line))
+            i = j
+            continue
+        if _is_ident_start(c):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (_is_ident_char(text[j]) or text[j] == "."
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], line))
+            i = j
+            continue
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    break  # unterminated; tolerate
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(Token(STRING if quote == '"' else CHAR,
+                                text[i:j], line))
+            i = j
+            continue
+        # Punctuation: fuse only :: and ->.
+        if c == ":" and i + 1 < n and text[i + 1] == ":":
+            tokens.append(Token(PUNCT, "::", line))
+            i += 2
+            continue
+        if c == "-" and i + 1 < n and text[i + 1] == ">":
+            tokens.append(Token(PUNCT, "->", line))
+            i += 2
+            continue
+        tokens.append(Token(PUNCT, c, line))
+        i += 1
+    return tokens, comments
+
+
+def match_paren(tokens: List[Token], open_index: int) -> int:
+    """Index of the token closing the group opened at open_index
+    (one of ( [ {), or len(tokens) if unbalanced."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    opener = tokens[open_index].text
+    closer = pairs[opener]
+    depth = 0
+    for i in range(open_index, len(tokens)):
+        t = tokens[i]
+        if t.kind == PUNCT:
+            if t.text == opener:
+                depth += 1
+            elif t.text == closer:
+                depth -= 1
+                if depth == 0:
+                    return i
+    return len(tokens)

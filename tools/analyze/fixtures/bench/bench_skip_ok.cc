@@ -1,0 +1,20 @@
+// Outside src/ the ANALYZE-SKIP(<rule>) escape hatch is honored (a
+// bench that deliberately wants wall-clock jitter can say so). Must
+// produce zero findings.
+#include <random>
+
+namespace demo {
+
+int JitterLatencies() {
+  // ANALYZE-SKIP(unseeded-randomness) — deliberate cross-run jitter to
+  // randomize contention phase; results are aggregated, not compared.
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int DeterministicBench() {
+  std::mt19937 rng(12345);  // fixed seed: rows reproduce
+  return static_cast<int>(rng());
+}
+
+}  // namespace demo

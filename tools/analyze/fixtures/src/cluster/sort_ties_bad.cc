@@ -1,0 +1,19 @@
+// Planted unstable-sort-on-ties violation: a comparator keyed on a
+// non-unique field — elements tied on `cost` land in unspecified order.
+#include <algorithm>
+#include <vector>
+
+namespace demo {
+
+struct Move {
+  int cost;
+  int dest;
+};
+
+void RankMoves(std::vector<Move>& moves) {
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {  // VIOLATION line 14
+    return a.cost < b.cost;
+  });
+}
+
+}  // namespace demo

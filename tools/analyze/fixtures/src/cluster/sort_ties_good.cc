@@ -1,0 +1,30 @@
+// Tie-safe sorting: a documented total order, std::stable_sort, and
+// the default operator< path. Must produce zero findings.
+#include <algorithm>
+#include <vector>
+
+namespace demo {
+
+struct Move {
+  int cost;
+  int dest;
+};
+
+void RankMovesTotal(std::vector<Move>& moves) {
+  // DETERMINISM: (cost, dest) is a total order — dest is unique per move.
+  std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.dest < b.dest;
+  });
+}
+
+void RankMovesStable(std::vector<Move>& moves) {
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Move& a, const Move& b) { return a.cost < b.cost; });
+}
+
+void SortValues(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+}
+
+}  // namespace demo

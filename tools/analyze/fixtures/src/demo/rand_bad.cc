@@ -1,0 +1,25 @@
+// Planted unseeded-randomness violations: every nondeterministic seed
+// source the rule knows.
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <random>
+
+namespace demo {
+
+int Roll() {
+  std::random_device rd;  // VIOLATION line 11
+  std::mt19937 rng(rd());
+  return static_cast<int>(rng());
+}
+
+void SeedGlobal() {
+  srand(time(nullptr));  // VIOLATION line 17
+}
+
+int RollClock() {
+  std::mt19937 rng(std::chrono::steady_clock::now().time_since_epoch().count());  // VIOLATION line 21
+  return static_cast<int>(rng());
+}
+
+}  // namespace demo

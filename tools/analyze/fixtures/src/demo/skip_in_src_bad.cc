@@ -1,0 +1,13 @@
+// Planted no-suppression violation: ANALYZE-SKIP is the blunt escape
+// hatch and the budget for src/ is zero — the token itself is flagged,
+// and it does NOT suppress the underlying finding.
+#include <random>
+
+namespace demo {
+
+int Roll() {
+  std::random_device rd;  // ANALYZE-SKIP(unseeded-randomness)  VIOLATION line 9 (twice: the walk and the skip)
+  return static_cast<int>(rd());
+}
+
+}  // namespace demo

@@ -1,0 +1,42 @@
+// Planted view-escape violations: non-owning types stored in members
+// with no OWNER annotation, and a by-reference lambda capture handed to
+// a thread pool's Submit.
+#ifndef DEMO_VIEW_ESCAPE_BAD_H_
+#define DEMO_VIEW_ESCAPE_BAD_H_
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace demo {
+
+struct BitSignature {
+  std::vector<unsigned long long> words;
+};
+
+struct GraphView {};
+
+struct Pool {
+  template <typename F>
+  void Submit(F&& fn) { fn(); }
+};
+
+class Holder {
+ public:
+  explicit Holder(std::string_view text) : text_(text) {}
+
+ private:
+  std::string_view text_;  // VIOLATION line 30
+  std::span<const int> window_;  // VIOLATION line 31
+  GraphView g_;  // VIOLATION line 32
+  std::vector<BitSignature> encs_;  // VIOLATION line 33
+};
+
+inline void FireAndForget(Pool& pool, int& counter) {
+  pool.Submit([&counter] { ++counter; });  // VIOLATION line 37
+}
+
+}  // namespace demo
+
+#endif  // DEMO_VIEW_ESCAPE_BAD_H_

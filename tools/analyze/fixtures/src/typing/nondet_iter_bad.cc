@@ -1,0 +1,35 @@
+// Planted nondeterministic-iteration violations. Each VIOLATION line
+// number is pinned in analyze_test.py — update both together.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace demo {
+
+using Index = std::unordered_map<int, int>;
+
+struct Walker {
+  std::unordered_map<int, int> map_;
+  std::unordered_set<int> set_;
+
+  int SumRangeFor() {
+    int s = 0;
+    for (const auto& kv : map_) s += kv.second;  // VIOLATION line 17
+    return s;
+  }
+
+  int SumIterator() {
+    int s = 0;
+    for (auto it = set_.begin(); it != set_.end(); ++it) s += *it;  // VIOLATION line 23
+    return s;
+  }
+
+  int SumAlias() {
+    Index idx;
+    int s = 0;
+    for (const auto& kv : idx) s += kv.first;  // VIOLATION line 30
+    return s;
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,46 @@
+// Clean idiom for unordered containers in determinism-critical code:
+// sorted copies where order can escape, an annotation where it cannot,
+// ordered containers otherwise. Must produce zero findings.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+struct Accumulator {
+  std::unordered_map<int, int> map_;
+  std::map<int, int> ordered_;
+
+  // Sorted-copy idiom: materialize keys, sort, iterate the copy.
+  std::vector<int> SortedKeys() {
+    std::vector<int> keys;
+    keys.reserve(map_.size());
+    for (const auto& kv : map_) keys.push_back(kv.first);  // DETERMINISM: collected keys are sorted before any order-sensitive use
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  // Order-insensitive reduction, annotated on the preceding line.
+  int Sum() {
+    int s = 0;
+    // DETERMINISM: + is commutative; the visit order cannot escape.
+    for (const auto& kv : map_) s += kv.second;
+    return s;
+  }
+
+  // std::map iterates in key order: nothing to flag.
+  int SumOrdered() {
+    int s = 0;
+    for (const auto& kv : ordered_) s += kv.second;
+    return s;
+  }
+
+  // Lookups and membership tests are order-free: nothing to flag.
+  int Lookup(int k) {
+    auto it = map_.find(k);
+    return it == map_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace demo

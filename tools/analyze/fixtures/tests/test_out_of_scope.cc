@@ -1,0 +1,17 @@
+// tests/ is outside every rule's scope (harness scaffolding may use
+// whatever it likes) — and outside the analyzer's walk entirely. If a
+// finding ever points here, the scope filter broke.
+#include <random>
+#include <unordered_map>
+
+namespace demo {
+
+int Noise() {
+  std::random_device rd;
+  std::unordered_map<int, int> m{{1, 2}};
+  int s = 0;
+  for (const auto& kv : m) s += kv.second;
+  return s + static_cast<int>(rd());
+}
+
+}  // namespace demo

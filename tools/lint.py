@@ -29,6 +29,13 @@ Rules (see docs/static-analysis.md for rationale and policy):
                     no_sanitize("thread"), NOLINT without a rule name,
                     or SCHEMEX_LINT_SKIP. The suppression budget for
                     src/ is zero (docs/static-analysis.md).
+  rand-seed         No nondeterministically seeded randomness in `src/`
+                    or `bench/`: std::random_device, srand()/rand(), or
+                    an engine seeded from a clock. Extraction is
+                    deterministic end-to-end and benchmark rows must
+                    reproduce; take an explicit seed instead. (tools/
+                    is covered by the deeper unseeded-randomness rule
+                    in tools/analyze/.)
 
 Usage:
   lint.py [--root DIR] [FILE...]   lint the repo (or just FILE...)
@@ -156,6 +163,16 @@ CC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<][^">]+\.cc[">]')
 
 NOLINT_BARE_RE = re.compile(r"//\s*NOLINT\s*($|[^(])")
 
+# rand-seed: each pattern is one way nondeterminism sneaks into a seed.
+# BARE_RAND_RE's lookbehind keeps `strand(`, `.rand(`, `->rand(` (member
+# functions on other types) from matching; `srand(` is its own pattern.
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+SRAND_RE = re.compile(r"\bsrand\s*\(")
+BARE_RAND_RE = re.compile(r"(?<![\w.>])rand\s*\(\s*\)")
+CLOCK_SEED_RE = re.compile(
+    r"\b(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux\w+|knuth_b)\b[^;]*(?:\btime\s*\(|::now\s*\()")
+
 
 def lint_file(path: str, rel: str, status_fns: set,
               status_res: dict) -> Iterable[Finding]:
@@ -168,6 +185,7 @@ def lint_file(path: str, rel: str, status_fns: set,
     rel_posix = rel.replace(os.sep, "/")
     is_src = in_dir(rel, "src")
     is_src_or_tools = in_dir(rel, "src", "tools")
+    is_src_or_bench = in_dir(rel, "src", "bench")
     is_util = rel_posix.startswith("src/util/")
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -210,6 +228,23 @@ def lint_file(path: str, rel: str, status_fns: set,
                     "bare NOLINT in src/; at minimum name the rule "
                     "(NOLINT(<check>)) outside src/, fix the code inside")
 
+        if is_src_or_bench:
+            if RANDOM_DEVICE_RE.search(line):
+                yield Finding(
+                    rel, lineno, "rand-seed",
+                    "std::random_device is nondeterministic; take an "
+                    "explicit seed (results must reproduce)")
+            if SRAND_RE.search(line) or BARE_RAND_RE.search(line):
+                yield Finding(
+                    rel, lineno, "rand-seed",
+                    "C srand()/rand() (global state, unspecified "
+                    "algorithm); use a seeded <random> engine")
+            if CLOCK_SEED_RE.search(line):
+                yield Finding(
+                    rel, lineno, "rand-seed",
+                    "RNG engine seeded from a clock; take an explicit "
+                    "seed (results must reproduce)")
+
         if is_src_or_tools:
             stripped = line.strip()
             # A continuation line of a multi-line call or macro argument
@@ -238,7 +273,10 @@ def iter_repo_files(root: str) -> Iterable[str]:
     for top in LINT_DIRS:
         base = os.path.join(root, top)
         for dirpath, dirnames, files in os.walk(base):
-            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            # Fixture trees (ours and tools/analyze/'s) are planted
+            # violations by design.
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("lint_fixtures", "fixtures")]
             for f in sorted(files):
                 if f.endswith(CXX_EXTENSIONS):
                     yield os.path.join(dirpath, f)

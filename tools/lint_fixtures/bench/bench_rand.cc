@@ -1,0 +1,17 @@
+// bench/ is inside rand-seed scope: benchmark rows must reproduce
+// run-to-run, so a bench may not draw entropy from the environment.
+#include <random>
+
+namespace demo {
+
+unsigned BenchEntropy() {
+  std::random_device rd;  // VIOLATION: rand-seed (line 8)
+  return rd();
+}
+
+unsigned BenchSeeded(unsigned seed) {
+  std::mt19937 rng(seed);  // allowed: explicit seed
+  return rng();
+}
+
+}  // namespace demo

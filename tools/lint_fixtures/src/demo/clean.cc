@@ -1,4 +1,6 @@
 // Lint fixture: idiomatic code every rule must leave alone.
+#include <random>
+
 #include "demo/violations.h"
 #include "util/thread_annotations.h"
 
@@ -20,6 +22,14 @@ util::Status MultiLine() {
   SCHEMEX_RETURN_IF_ERROR(
       DoWork());
   return util::Status::OK();
+}
+
+// Explicitly seeded engines are the sanctioned randomness idiom; the
+// rand-seed rule must leave them (and words containing "rand") alone.
+unsigned SeededDraw(unsigned seed) {
+  std::mt19937 rng(seed);
+  unsigned strand = rng();
+  return strand;
 }
 
 }  // namespace demo

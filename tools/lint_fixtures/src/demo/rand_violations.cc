@@ -1,0 +1,25 @@
+// Lint fixture for the rand-seed rule: every RNG in src/ and bench/
+// must be an engine with an explicit seed. One violation per marked
+// line; lint_test.py pins the line numbers.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace demo {
+
+unsigned Entropy() {
+  std::random_device rd;  // VIOLATION: rand-seed (line 11)
+  return rd();
+}
+
+int CRand() {
+  srand(42);      // VIOLATION: rand-seed (line 16)
+  return rand();  // VIOLATION: rand-seed (line 17)
+}
+
+unsigned ClockSeeded() {
+  std::mt19937 rng(time(nullptr));  // VIOLATION: rand-seed (line 21)
+  return rng();
+}
+
+}  // namespace demo

@@ -1,6 +1,7 @@
 // Lint fixture: tests/ may use std primitives for harness scaffolding
 // (gates, latches) and may sleep; only cc-include applies here.
 #include <mutex>
+#include <random>
 #include <thread>
 
 namespace test_fixture {
@@ -9,6 +10,11 @@ std::mutex g_test_mu;  // allowed: tests/
 
 void Pause() {
   std::this_thread::sleep_for(std::chrono::milliseconds(1));  // allowed
+}
+
+void Shuffle() {
+  std::random_device rd;  // allowed: rand-seed scope is src/ + bench/
+  (void)rd;
 }
 
 }  // namespace test_fixture

@@ -36,6 +36,11 @@ EXPECTED = {
     ("src/demo/violations.cc", 22, "discarded-status"),
     ("src/demo/violations.cc", 25, "no-suppression"),
     ("src/demo/violations.cc", 26, "no-suppression"),
+    ("src/demo/rand_violations.cc", 11, "rand-seed"),
+    ("src/demo/rand_violations.cc", 16, "rand-seed"),
+    ("src/demo/rand_violations.cc", 17, "rand-seed"),
+    ("src/demo/rand_violations.cc", 21, "rand-seed"),
+    ("bench/bench_rand.cc", 8, "rand-seed"),
     ("tools/tool_violation.cc", 8, "naked-mutex"),
     ("tools/tool_violation.cc", 12, "detach"),
 }
@@ -96,6 +101,8 @@ def main() -> int:
         # Clean tree: the same fixtures minus the violation files.
         shutil.copytree(FIXTURES, tmp, dirs_exist_ok=True)
         os.remove(os.path.join(tmp, "src", "demo", "violations.cc"))
+        os.remove(os.path.join(tmp, "src", "demo", "rand_violations.cc"))
+        os.remove(os.path.join(tmp, "bench", "bench_rand.cc"))
         os.remove(os.path.join(tmp, "tools", "tool_violation.cc"))
         rc, findings, proc = run_lint(tmp)
         if rc != 0 or findings:
