@@ -7,7 +7,23 @@
 //
 // Flags:
 //   --json    emit one machine-consumable JSON row per measurement
-//             (same schema as bench_parallel) instead of tables
+//             instead of tables. Row schemas (trajectory diffs parse
+//             these; keep them stable):
+//               pipeline row —
+//                 {"bench":"scale","algo":"refinement_map","objects":N,
+//                  "edges":N,"stage1_types":N,"threads":1,"stage1_ms":F,
+//                  "cluster_ms":F,"recast_ms":F,"apply_delta_ms":F,
+//                  "speedup":1.000}
+//                 apply_delta_ms is the wall-clock of applying a
+//                 64-op mutation batch to a DeltaOverlay over the
+//                 frozen graph (best of 3) — the generation-swap cost a
+//                 service apply_delta pays before any retyping.
+//               stage1-only row (large scales) —
+//                 {"bench":"scale","algo":"refinement_map","objects":N,
+//                  "edges":N,"threads":1,"stage1_ms":F,"speedup":1.000}
+//               cluster_kernel row —
+//                 {"bench":"cluster_kernel","kernel":"sorted"|"bit",
+//                  "types":N,"pairs":N,"reps":N,"ms":F,"speedup":F}
 //   --smoke   scales {1, 5} only and skip the large Stage-1-only section
 //             (CI-sized)
 //
@@ -27,6 +43,8 @@
 #include "cluster/greedy.h"
 #include "gen/dbg.h"
 #include "gen/spec.h"
+#include "graph/delta_overlay.h"
+#include "graph/frozen_graph.h"
 #include "typing/bit_signature.h"
 #include "typing/defect.h"
 #include "typing/perfect_typing.h"
@@ -48,12 +66,57 @@ void PrintJsonRow(size_t objects, size_t edges, double stage1_ms) {
 
 void PrintJsonPipelineRow(size_t objects, size_t edges, size_t stage1_types,
                           double stage1_ms, double cluster_ms,
-                          double recast_ms) {
+                          double recast_ms, double apply_delta_ms) {
   std::printf(
       "{\"bench\":\"scale\",\"algo\":\"refinement_map\",\"objects\":%zu,"
       "\"edges\":%zu,\"stage1_types\":%zu,\"threads\":1,\"stage1_ms\":%.3f,"
-      "\"cluster_ms\":%.3f,\"recast_ms\":%.3f,\"speedup\":1.000}\n",
-      objects, edges, stage1_types, stage1_ms, cluster_ms, recast_ms);
+      "\"cluster_ms\":%.3f,\"recast_ms\":%.3f,\"apply_delta_ms\":%.3f,"
+      "\"speedup\":1.000}\n",
+      objects, edges, stage1_types, stage1_ms, cluster_ms, recast_ms,
+      apply_delta_ms);
+}
+
+/// Wall-clock of a 64-op mutation batch (adds, links, deletes) against a
+/// fresh DeltaOverlay over `frozen`, best of 3 — the pure overlay cost of
+/// a service apply_delta, before online typing or re-extraction.
+double BenchApplyDelta(const std::shared_ptr<const graph::FrozenGraph>& frozen) {
+  std::vector<graph::ObjectId> complexes;
+  for (graph::ObjectId o = 0; o < frozen->NumObjects(); ++o) {
+    if (frozen->IsComplex(o)) complexes.push_back(o);
+  }
+  if (complexes.empty()) return 0.0;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    graph::DeltaOverlay ov(frozen);
+    util::WallTimer t;
+    for (size_t i = 0; i < 64; ++i) {
+      switch (i % 4) {
+        case 0: {
+          graph::ObjectId c = ov.AddComplex();
+          (void)ov.AddEdge(complexes[i % complexes.size()], c, "ref");
+          break;
+        }
+        case 1:
+          (void)ov.AddAtomic("v");
+          break;
+        case 2:
+          (void)ov.AddEdge(complexes[i % complexes.size()],
+                           complexes[(i * 7 + 1) % complexes.size()],
+                           "extra");
+          break;
+        default: {
+          graph::ObjectId from = complexes[i % complexes.size()];
+          auto out = ov.OutEdges(from);
+          if (!out.empty()) {
+            (void)ov.RemoveEdge(from, out[0].other, out[0].label);
+          }
+          break;
+        }
+      }
+    }
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
 }
 
 /// Times the Stage-2 all-pairs distance scan on both kernels (best of 3,
@@ -143,7 +206,7 @@ int Run(bool json, bool smoke) {
   std::vector<std::string> kernel_lines;
   table.SetHeader({"scale", "objects", "links", "stage1 (ms)",
                    "stage1 types", "cluster->6 (ms)", "recast+defect (ms)",
-                   "total (ms)", "defect"});
+                   "apply_delta (ms)", "total (ms)", "defect"});
   std::vector<int> scales = smoke ? std::vector<int>{1, 5}
                                   : std::vector<int>{1, 5, 25};
   for (int scale : scales) {
@@ -176,11 +239,12 @@ int Run(bool json, bool smoke) {
     auto defect = typing::ComputeDefect(clustering->final_program, *g,
                                         recast->assignment);
     double recast_ms = t3.ElapsedMillis();
+    double apply_delta_ms = BenchApplyDelta(graph::Freeze(*g));
 
     if (json) {
       PrintJsonPipelineRow(g->NumObjects(), g->NumEdges(),
                            stage1->program.NumTypes(), stage1_ms, cluster_ms,
-                           recast_ms);
+                           recast_ms, apply_delta_ms);
     } else {
       table.AddRow({util::StringPrintf("%dx", scale),
                     util::StringPrintf("%zu", g->NumObjects()),
@@ -189,6 +253,7 @@ int Run(bool json, bool smoke) {
                     util::StringPrintf("%zu", stage1->program.NumTypes()),
                     util::StringPrintf("%.1f", cluster_ms),
                     util::StringPrintf("%.1f", recast_ms),
+                    util::StringPrintf("%.2f", apply_delta_ms),
                     util::StringPrintf("%.1f", total.ElapsedMillis()),
                     util::StringPrintf("%zu", defect.defect())});
     }

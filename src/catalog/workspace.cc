@@ -121,15 +121,20 @@ util::Status Workspace::Validate() const {
   if (graph == nullptr) {
     return util::Status::FailedPrecondition("workspace has no graph");
   }
+  if (overlay != nullptr && overlay->base().get() != graph.get()) {
+    return util::Status::FailedPrecondition(
+        "overlay is layered over a different graph");
+  }
+  graph::GraphView view = View();
   if (assignment.NumObjects() != 0 &&
-      assignment.NumObjects() != graph->NumObjects()) {
+      assignment.NumObjects() != view.NumObjects()) {
     return util::Status::FailedPrecondition(
         "assignment sized for a different graph");
   }
   SCHEMEX_RETURN_IF_ERROR(program.Validate());
   for (const typing::TypeDef& t : program.types()) {
     for (const typing::TypedLink& l : t.signature.links()) {
-      if (l.label >= graph->labels().size()) {
+      if (l.label >= view.labels().size()) {
         return util::Status::FailedPrecondition(
             "program references a label outside the graph's table");
       }
@@ -148,6 +153,15 @@ util::Status Workspace::Validate() const {
 
 util::Status SaveWorkspace(const Workspace& ws, const std::string& dir) {
   SCHEMEX_RETURN_IF_ERROR(ws.Validate());
+  if (ws.overlay != nullptr) {
+    // Fold the overlay into a self-contained snapshot before writing;
+    // the on-disk format has no notion of a delta layer. The compacted
+    // copy shares everything else with the caller's workspace.
+    Workspace compacted = ws;
+    compacted.graph = ws.overlay->Compact();
+    compacted.overlay = nullptr;
+    return SaveWorkspace(compacted, dir);
+  }
   util::MutexLock lock(SaveMutex());
   std::error_code ec;
   fs::create_directories(dir, ec);

@@ -1,17 +1,43 @@
 #ifndef SCHEMEX_CATALOG_WORKSPACE_H_
 #define SCHEMEX_CATALOG_WORKSPACE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "graph/data_graph.h"
+#include "graph/delta_overlay.h"
 #include "graph/frozen_graph.h"
+#include "graph/graph_view.h"
 #include "typing/assignment.h"
 #include "typing/typing_program.h"
 #include "util/statusor.h"
 
+// Forward-declared so the catalog does not link against the extraction
+// pipeline: the workspace only stores the cache opaquely (shared_ptr of
+// an incomplete type is well-formed); the service layer, which already
+// depends on extract, is the only producer/consumer.
+namespace schemex::extract {
+struct ExtractionCache;
+}  // namespace schemex::extract
+
 namespace schemex::catalog {
+
+/// One apply_delta batch, recorded so a later re_extract knows which
+/// objects' neighbourhoods the accumulated deltas touched. Cleared when
+/// an extraction installs a fresh cache (the partition then reflects the
+/// mutated graph, so the log is spent).
+struct MutationRecord {
+  uint64_t generation = 0;
+  /// Complex objects whose local picture the batch changed (edge
+  /// endpoints and new complex objects), sorted and deduplicated.
+  std::vector<graph::ObjectId> touched_complex;
+  size_t objects_added = 0;
+  size_t links_added = 0;
+  size_t links_deleted = 0;
+};
 
 /// A persisted extraction workspace: the database, the extracted schema,
 /// and the object-to-types assignment. Everything a downstream consumer
@@ -27,12 +53,42 @@ struct Workspace {
   typing::TypingProgram program;     ///< may be empty (no schema yet)
   typing::TypeAssignment assignment; ///< may be empty
 
+  /// Uncompacted mutations over `graph`, or null when the workspace is
+  /// exactly its frozen snapshot. When set, overlay->base() == graph and
+  /// every read (queries, typing, extraction) goes through View().
+  std::shared_ptr<const graph::DeltaOverlay> overlay;
+
+  /// Monotone mutation counter: 0 for a freshly loaded/imported
+  /// workspace, +1 per applied delta batch. Survives compaction (the
+  /// graph changes identity; the history does not).
+  uint64_t generation = 0;
+
+  /// apply_delta batches since the last extraction, oldest first.
+  std::vector<MutationRecord> mutation_log;
+
+  /// Stage-1/Stage-2 state left behind by the last extraction, seed of
+  /// incremental re-extraction. Null until an extract succeeds. Opaque
+  /// here; produced and consumed by the service layer.
+  std::shared_ptr<const extract::ExtractionCache> extraction_cache;
+
+  /// Online-typing tallies since the last extraction: complex objects
+  /// that arrived via apply_delta, and how many of them fit an existing
+  /// type exactly. Feeds IncrementalTyper::RetypeRecommended.
+  size_t delta_arrivals = 0;
+  size_t delta_exact = 0;
+
   /// Freezes `g` and installs it as this workspace's database.
   void SetGraph(const graph::DataGraph& g) { graph = graph::Freeze(g); }
 
-  /// Checks mutual consistency: graph present, assignment sized to the
-  /// graph, type ids within the program, program labels within the
-  /// graph's table.
+  /// The graph as readers must see it: the overlay when one is set,
+  /// otherwise the frozen snapshot.
+  graph::GraphView View() const {
+    return overlay ? graph::GraphView(*overlay) : graph::GraphView(*graph);
+  }
+
+  /// Checks mutual consistency: graph present, overlay (if any) layered
+  /// over this graph, assignment sized to the view, type ids within the
+  /// program, program labels within the view's table.
   util::Status Validate() const;
 };
 
@@ -48,6 +104,10 @@ struct Workspace {
 /// reader interleaving between the renames can still pair files from
 /// different generations; LoadWorkspace's Validate() turns that into a
 /// clean error (retryable) rather than silent corruption.
+///
+/// A workspace carrying an overlay is compacted first (overlay folded
+/// into a fresh FrozenGraph) so the files on disk always describe one
+/// self-contained graph; the caller's workspace is not modified.
 util::Status SaveWorkspace(const Workspace& ws, const std::string& dir);
 
 /// How LoadWorkspace obtained the graph, for callers that surface it

@@ -4,18 +4,16 @@
 #include <thread>
 #include <utility>
 
+#include "extract/pipeline_internal.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
 
 namespace schemex::extract {
 
-namespace {
+namespace internal {
 
 using typing::TypeId;
 
-/// Effective Stage-1 worker count. 0 (auto) takes the hardware
-/// concurrency, moderated so each worker gets a few thousand complex
-/// objects — below that a pool costs more than it saves.
 size_t ResolveParallelism(size_t requested, size_t num_complex) {
   if (requested != 0) return requested;
   size_t hw = std::thread::hardware_concurrency();
@@ -24,10 +22,6 @@ size_t ResolveParallelism(size_t requested, size_t num_complex) {
   return std::min(hw, by_size);
 }
 
-/// Stage 1 with the options' algorithm, parallelism, and cancellation.
-/// parallelism == 1 routes refinement to the sequential reference
-/// implementation (the baseline the hash path is pinned against); every
-/// other setting uses the hash-refinement engine.
 util::StatusOr<typing::PerfectTypingResult> RunStage1(
     const ExtractorOptions& options, graph::GraphView g,
     util::ThreadPool* pool, size_t threads) {
@@ -43,13 +37,6 @@ util::StatusOr<typing::PerfectTypingResult> RunStage1(
   }
   return typing::PerfectTypingViaHashRefinement(g, exec);
 }
-
-/// Stage-1 (or roles) home sets + weights for clustering.
-struct PreClusterState {
-  typing::TypingProgram program;
-  std::vector<std::vector<TypeId>> homes;  // per object, in program ids
-  std::vector<uint32_t> weights;           // per type: #objects with home
-};
 
 PreClusterState PrepareForClustering(const ExtractorOptions& options,
                                      const typing::PerfectTypingResult& perfect,
@@ -77,8 +64,6 @@ PreClusterState PrepareForClustering(const ExtractorOptions& options,
   return state;
 }
 
-/// Applies a stage1->final type map to home sets, dropping empty-type
-/// entries and deduplicating.
 std::vector<std::vector<TypeId>> MapHomesThrough(
     const std::vector<std::vector<TypeId>>& homes,
     const std::vector<TypeId>& map) {
@@ -94,16 +79,73 @@ std::vector<std::vector<TypeId>> MapHomesThrough(
   return out;
 }
 
-/// Polls an optional cancellation hook; stages run only between OK polls.
-util::Status Poll(const std::function<util::Status()>& check_cancel) {
+util::Status PollCancel(const std::function<util::Status()>& check_cancel) {
   return check_cancel ? check_cancel() : util::Status::OK();
 }
 
-}  // namespace
+util::StatusOr<ExtractionResult> FinishExtraction(
+    const ExtractorOptions& options, graph::GraphView g,
+    typing::PerfectTypingResult perfect, const typing::ExecOptions& exec,
+    const Stage2Reuse* reuse, bool* stage2_reused) {
+  ExtractionResult result;
+  result.perfect = std::move(perfect);
+  result.num_perfect_types = result.perfect.program.NumTypes();
+  if (stage2_reused) *stage2_reused = false;
+
+  PreClusterState state = PrepareForClustering(
+      options, result.perfect, &result.roles, &result.roles_applied);
+
+  // Stage 2.
+  util::WallTimer stage_timer;
+  if (options.target_num_types > 0 &&
+      options.target_num_types < state.program.NumTypes()) {
+    if (reuse != nullptr && reuse->program != nullptr &&
+        *reuse->program == state.program && *reuse->weights == state.weights) {
+      // Identical inputs (and, per the caller's contract, identical
+      // clustering options) mean re-running greedy clustering would
+      // reproduce the cached result verbatim — adopt it instead. This
+      // is the incremental hot path: Stage 2 dominates cold extraction
+      // cost, and a delta that leaves the perfect typing unchanged
+      // skips it entirely.
+      result.clustering = *reuse->clustering;
+      if (stage2_reused) *stage2_reused = true;
+    } else {
+      cluster::ClusteringOptions copt;
+      copt.psi = options.psi;
+      copt.target_num_types = options.target_num_types;
+      copt.enable_empty_type = options.enable_empty_type;
+      SCHEMEX_ASSIGN_OR_RETURN(
+          result.clustering,
+          cluster::ClusterTypes(state.program, state.weights, copt, exec));
+    }
+    result.clustering_applied = true;
+    result.final_program = result.clustering.final_program;
+    result.final_homes =
+        MapHomesThrough(state.homes, result.clustering.final_map);
+    result.timings.cluster_ms = stage_timer.ElapsedMillis();
+  } else {
+    result.final_program = state.program;
+    result.final_homes = state.homes;
+  }
+  result.num_final_types = result.final_program.NumTypes();
+  SCHEMEX_RETURN_IF_ERROR(PollCancel(options.check_cancel));
+
+  // Stage 3.
+  stage_timer.Restart();
+  SCHEMEX_ASSIGN_OR_RETURN(
+      result.recast, typing::Recast(result.final_program, g,
+                                    result.final_homes, options.recast, exec));
+
+  result.defect =
+      typing::ComputeDefect(result.final_program, g, result.recast.assignment);
+  result.timings.recast_ms = stage_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace internal
 
 util::StatusOr<ExtractionResult> SchemaExtractor::Run(
     graph::GraphView g) const {
-  ExtractionResult result;
   util::WallTimer total_timer;
 
   // One pool for the whole run — Stage 1 shards its hashing and GFP
@@ -111,7 +153,7 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
   // GFP, exact sweep, and fallback precompute; nullptr when the resolved
   // parallelism is 1.
   size_t threads =
-      ResolveParallelism(options_.parallelism, g.NumComplexObjects());
+      internal::ResolveParallelism(options_.parallelism, g.NumComplexObjects());
   util::PoolRef pool(nullptr, threads);
   typing::ExecOptions exec;
   exec.num_threads = threads;
@@ -120,48 +162,17 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
 
   // Stage 1.
   util::WallTimer stage_timer;
-  SCHEMEX_ASSIGN_OR_RETURN(result.perfect,
-                           RunStage1(options_, g, pool.get(), threads));
-  result.timings.stage1_ms = stage_timer.ElapsedMillis();
-  result.num_perfect_types = result.perfect.program.NumTypes();
-  SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
+  typing::PerfectTypingResult perfect;
+  SCHEMEX_ASSIGN_OR_RETURN(perfect,
+                           internal::RunStage1(options_, g, pool.get(),
+                                               threads));
+  double stage1_ms = stage_timer.ElapsedMillis();
+  SCHEMEX_RETURN_IF_ERROR(internal::PollCancel(options_.check_cancel));
 
-  PreClusterState state = PrepareForClustering(
-      options_, result.perfect, &result.roles, &result.roles_applied);
-
-  // Stage 2.
-  stage_timer.Restart();
-  if (options_.target_num_types > 0 &&
-      options_.target_num_types < state.program.NumTypes()) {
-    cluster::ClusteringOptions copt;
-    copt.psi = options_.psi;
-    copt.target_num_types = options_.target_num_types;
-    copt.enable_empty_type = options_.enable_empty_type;
-    SCHEMEX_ASSIGN_OR_RETURN(
-        result.clustering,
-        cluster::ClusterTypes(state.program, state.weights, copt, exec));
-    result.clustering_applied = true;
-    result.final_program = result.clustering.final_program;
-    result.final_homes = MapHomesThrough(state.homes,
-                                         result.clustering.final_map);
-    result.timings.cluster_ms = stage_timer.ElapsedMillis();
-  } else {
-    result.final_program = state.program;
-    result.final_homes = state.homes;
-  }
-  result.num_final_types = result.final_program.NumTypes();
-  SCHEMEX_RETURN_IF_ERROR(Poll(options_.check_cancel));
-
-  // Stage 3.
-  stage_timer.Restart();
   SCHEMEX_ASSIGN_OR_RETURN(
-      result.recast,
-      typing::Recast(result.final_program, g, result.final_homes,
-                     options_.recast, exec));
-
-  result.defect =
-      typing::ComputeDefect(result.final_program, g, result.recast.assignment);
-  result.timings.recast_ms = stage_timer.ElapsedMillis();
+      ExtractionResult result,
+      internal::FinishExtraction(options_, g, std::move(perfect), exec));
+  result.timings.stage1_ms = stage1_ms;
   result.timings.total_ms = total_timer.ElapsedMillis();
   return result;
 }
@@ -169,21 +180,27 @@ util::StatusOr<ExtractionResult> SchemaExtractor::Run(
 util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
     graph::GraphView g, const ExtractorOptions& options,
     size_t min_k) {
+  using internal::MapHomesThrough;
+  using internal::PollCancel;
+  using internal::PreClusterState;
+  using typing::TypeId;
+
   // Stage 1 once.
   size_t threads =
-      ResolveParallelism(options.parallelism, g.NumComplexObjects());
+      internal::ResolveParallelism(options.parallelism, g.NumComplexObjects());
   util::PoolRef pool(nullptr, threads);
   typing::ExecOptions exec;
   exec.num_threads = threads;
   exec.pool = pool.get();
   exec.check_cancel = options.check_cancel;
   typing::PerfectTypingResult perfect;
-  SCHEMEX_ASSIGN_OR_RETURN(perfect, RunStage1(options, g, pool.get(), threads));
-  SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
+  SCHEMEX_ASSIGN_OR_RETURN(
+      perfect, internal::RunStage1(options, g, pool.get(), threads));
+  SCHEMEX_RETURN_IF_ERROR(PollCancel(options.check_cancel));
   typing::RoleDecomposition roles;
   bool roles_applied = false;
   PreClusterState state =
-      PrepareForClustering(options, perfect, &roles, &roles_applied);
+      internal::PrepareForClustering(options, perfect, &roles, &roles_applied);
 
   // Stage 2 once, all the way down, recording snapshots.
   cluster::ClusteringOptions copt;
@@ -199,7 +216,7 @@ util::StatusOr<std::vector<SensitivityPoint>> SensitivitySweep(
   std::vector<SensitivityPoint> points;
   points.reserve(clustering.snapshots.size());
   for (const cluster::Snapshot& snap : clustering.snapshots) {
-    SCHEMEX_RETURN_IF_ERROR(Poll(options.check_cancel));
+    SCHEMEX_RETURN_IF_ERROR(PollCancel(options.check_cancel));
     std::vector<std::vector<TypeId>> homes =
         MapHomesThrough(state.homes, snap.stage1_to_snapshot);
     SCHEMEX_ASSIGN_OR_RETURN(

@@ -1,0 +1,264 @@
+#include "graph/delta_overlay.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace schemex::graph {
+
+namespace {
+
+bool InsertSorted(std::vector<HalfEdge>& v, HalfEdge e) {
+  auto it = std::lower_bound(v.begin(), v.end(), e);
+  if (it != v.end() && *it == e) return false;
+  v.insert(it, e);
+  return true;
+}
+
+bool EraseSorted(std::vector<HalfEdge>& v, HalfEdge e) {
+  auto it = std::lower_bound(v.begin(), v.end(), e);
+  if (it == v.end() || *it != e) return false;
+  v.erase(it);
+  return true;
+}
+
+bool ContainsSorted(std::span<const HalfEdge> v, HalfEdge e) {
+  return std::binary_search(v.begin(), v.end(), e);
+}
+
+}  // namespace
+
+DeltaOverlay::DeltaOverlay(std::shared_ptr<const FrozenGraph> base)
+    : base_(std::move(base)) {
+  assert(base_ != nullptr);
+  base_objects_ = base_->NumObjects();
+  labels_ = base_->labels();
+  num_complex_ = base_->NumComplexObjects();
+  num_edges_ = base_->NumEdges();
+}
+
+util::Status DeltaOverlay::CheckIds(ObjectId from, ObjectId to) const {
+  if (from >= NumObjects() || to >= NumObjects()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "object id out of range (from=%u, to=%u, n=%zu)", from, to,
+        NumObjects()));
+  }
+  return util::Status::OK();
+}
+
+std::vector<HalfEdge>& DeltaOverlay::Row(RowStore& store, ObjectId o,
+                                         bool out_dir) {
+  auto [it, inserted] = store.index.try_emplace(
+      o, static_cast<uint32_t>(store.rows.size()));
+  if (inserted) {
+    std::span<const HalfEdge> seed;
+    if (o < base_objects_) {
+      seed = out_dir ? base_->OutEdges(o) : base_->InEdges(o);
+    }
+    store.rows.emplace_back(seed.begin(), seed.end());
+  }
+  return store.rows[it->second];
+}
+
+void DeltaOverlay::Touch(ObjectId o) {
+  if (IsComplex(o)) touched_log_.push_back(o);
+}
+
+ObjectId DeltaOverlay::AddComplex(std::string_view name) {
+  ObjectId id = static_cast<ObjectId>(NumObjects());
+  added_kind_.push_back(0);
+  added_value_.emplace_back();
+  added_name_.emplace_back(name);
+  ++num_complex_;
+  ++generation_;
+  touched_log_.push_back(id);
+  return id;
+}
+
+ObjectId DeltaOverlay::AddAtomic(std::string_view value,
+                                 std::string_view name) {
+  ObjectId id = static_cast<ObjectId>(NumObjects());
+  added_kind_.push_back(1);
+  added_value_.emplace_back(value);
+  added_name_.emplace_back(name);
+  ++generation_;
+  return id;
+}
+
+util::Status DeltaOverlay::AddEdge(ObjectId from, ObjectId to, LabelId label) {
+  SCHEMEX_RETURN_IF_ERROR(CheckIds(from, to));
+  if (label >= labels_.size()) {
+    return util::Status::InvalidArgument("unknown label id");
+  }
+  if (IsAtomic(from)) {
+    return util::Status::FailedPrecondition(
+        "atomic objects cannot have outgoing edges");
+  }
+  if (!InsertSorted(Row(out_, from, /*out_dir=*/true), HalfEdge{label, to})) {
+    return util::Status::AlreadyExists(util::StringPrintf(
+        "edge (%u -%s-> %u) already present", from,
+        labels_.Name(label).c_str(), to));
+  }
+  InsertSorted(Row(in_, to, /*out_dir=*/false), HalfEdge{label, from});
+  ++num_edges_;
+  ++links_added_;
+  ++generation_;
+  Touch(from);
+  Touch(to);
+  return util::Status::OK();
+}
+
+util::Status DeltaOverlay::AddEdge(ObjectId from, ObjectId to,
+                                   std::string_view label) {
+  return AddEdge(from, to, labels_.Intern(label));
+}
+
+util::Status DeltaOverlay::RemoveEdge(ObjectId from, ObjectId to,
+                                      LabelId label) {
+  SCHEMEX_RETURN_IF_ERROR(CheckIds(from, to));
+  // Materializing the row before knowing the edge exists is benign: a
+  // materialized copy of the base slice reads identically.
+  if (!EraseSorted(Row(out_, from, /*out_dir=*/true), HalfEdge{label, to})) {
+    return util::Status::NotFound("edge not present");
+  }
+  EraseSorted(Row(in_, to, /*out_dir=*/false), HalfEdge{label, from});
+  --num_edges_;
+  ++links_deleted_;
+  ++generation_;
+  Touch(from);
+  Touch(to);
+  return util::Status::OK();
+}
+
+bool DeltaOverlay::HasEdge(ObjectId from, ObjectId to, LabelId label) const {
+  if (from >= NumObjects() || to >= NumObjects()) return false;
+  return ContainsSorted(OutEdges(from), HalfEdge{label, to});
+}
+
+bool DeltaOverlay::HasEdgeToAtomic(ObjectId o, LabelId label) const {
+  std::span<const HalfEdge> edges = OutEdges(o);
+  auto it = std::lower_bound(edges.begin(), edges.end(),
+                             HalfEdge{label, static_cast<ObjectId>(0)});
+  for (; it != edges.end() && it->label == label; ++it) {
+    if (IsAtomic(it->other)) return true;
+  }
+  return false;
+}
+
+bool DeltaOverlay::IsBipartite() const {
+  for (ObjectId o = 0; o < NumObjects(); ++o) {
+    for (const HalfEdge& e : OutEdges(o)) {
+      if (!IsAtomic(e.other)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ObjectId> DeltaOverlay::TouchedComplexObjects() const {
+  std::vector<ObjectId> out = touched_log_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double DeltaOverlay::TouchedComplexFraction() const {
+  if (num_complex_ == 0) return 0.0;
+  return static_cast<double>(TouchedComplexObjects().size()) /
+         static_cast<double>(num_complex_);
+}
+
+std::shared_ptr<const FrozenGraph> DeltaOverlay::Compact() const {
+  DataGraph g;
+  // Replay labels, objects and edges in id order: the rebuilt DataGraph
+  // is then structurally identical to one that was mutated directly, and
+  // Freeze() of it serializes to the same snapshot bytes.
+  for (LabelId l = 0; l < labels_.size(); ++l) {
+    g.InternLabel(labels_.Name(l));
+  }
+  for (ObjectId o = 0; o < NumObjects(); ++o) {
+    if (IsAtomic(o)) {
+      g.AddAtomic(Value(o), Name(o));
+    } else {
+      g.AddComplex(Name(o));
+    }
+  }
+  for (ObjectId o = 0; o < NumObjects(); ++o) {
+    for (const HalfEdge& e : OutEdges(o)) {
+      g.MergeEdge(o, e.other, e.label);
+    }
+  }
+  return Freeze(g);
+}
+
+util::Status DeltaOverlay::Validate() const {
+  if (base_ == nullptr) return util::Status::Internal("overlay has no base");
+  if (labels_.size() < base_->labels().size()) {
+    return util::Status::Internal("label table shrank below the base");
+  }
+  size_t out_count = 0;
+  size_t complex_count = 0;
+  for (ObjectId o = 0; o < NumObjects(); ++o) {
+    if (IsComplex(o)) ++complex_count;
+    std::span<const HalfEdge> out = OutEdges(o);
+    std::span<const HalfEdge> in = InEdges(o);
+    if (IsAtomic(o) && !out.empty()) {
+      return util::Status::Internal(
+          util::StringPrintf("atomic object %u has outgoing edges", o));
+    }
+    if (!std::is_sorted(out.begin(), out.end()) ||
+        !std::is_sorted(in.begin(), in.end())) {
+      return util::Status::Internal(
+          util::StringPrintf("adjacency of object %u not sorted", o));
+    }
+    out_count += out.size();
+    for (const HalfEdge& e : out) {
+      if (e.other >= NumObjects() || e.label >= labels_.size()) {
+        return util::Status::Internal("dangling edge endpoint or label");
+      }
+      if (!ContainsSorted(InEdges(e.other), HalfEdge{e.label, o})) {
+        return util::Status::Internal(util::StringPrintf(
+            "edge (%u,%u) missing from incoming index", o, e.other));
+      }
+    }
+    for (const HalfEdge& e : in) {
+      if (e.other >= NumObjects() ||
+          !ContainsSorted(OutEdges(e.other), HalfEdge{e.label, o})) {
+        return util::Status::Internal(util::StringPrintf(
+            "incoming edge of %u has no outgoing counterpart", o));
+      }
+    }
+  }
+  if (out_count != num_edges_) {
+    return util::Status::Internal("edge count out of sync");
+  }
+  if (complex_count != num_complex_) {
+    return util::Status::Internal("complex count out of sync");
+  }
+  return util::Status::OK();
+}
+
+size_t DeltaOverlay::MemoryUsage() const {
+  auto string_bytes = [](const std::string& s) {
+    return sizeof(std::string) +
+           (s.capacity() > sizeof(std::string) ? s.capacity() : 0);
+  };
+  size_t bytes = added_kind_.capacity() * sizeof(uint8_t) +
+                 touched_log_.capacity() * sizeof(ObjectId);
+  for (const std::string& v : added_value_) bytes += string_bytes(v);
+  for (const std::string& n : added_name_) bytes += string_bytes(n);
+  for (const RowStore* store : {&out_, &in_}) {
+    bytes += store->index.size() *
+             (sizeof(ObjectId) + sizeof(uint32_t) + 2 * sizeof(void*));
+    bytes += store->rows.capacity() * sizeof(std::vector<HalfEdge>);
+    for (const auto& row : store->rows) {
+      bytes += row.capacity() * sizeof(HalfEdge);
+    }
+  }
+  for (size_t l = 0; l < labels_.size(); ++l) {
+    bytes += string_bytes(labels_.Name(static_cast<LabelId>(l)));
+  }
+  return bytes;
+}
+
+}  // namespace schemex::graph

@@ -85,6 +85,53 @@ class Fields {
 
 const std::map<std::string, Value> kEmptyObject;
 
+// Parses the apply_delta "ops" array (required, possibly empty). Fields
+// has no array accessor, so the array itself is pulled from the raw
+// params object; each element then reuses the Fields machinery.
+util::Status ParseDeltaOps(const std::map<std::string, Value>& params,
+                           std::vector<DeltaOp>* out) {
+  auto it = params.find("ops");
+  if (it == params.end()) {
+    return util::Status::InvalidArgument("missing required field \"ops\"");
+  }
+  if (it->second.kind() != Value::Kind::kArray) {
+    return util::Status::InvalidArgument("field \"ops\" must be an array");
+  }
+  const auto& arr = it->second.AsArray();
+  out->reserve(arr.size());
+  for (size_t i = 0; i < arr.size(); ++i) {
+    if (arr[i].kind() != Value::Kind::kObject) {
+      return util::Status::InvalidArgument(
+          "ops[" + std::to_string(i) + "] must be an object");
+    }
+    Fields f(arr[i].AsObject());
+    DeltaOp op;
+    SCHEMEX_RETURN_IF_ERROR(f.GetString("op", &op.op, /*required=*/true));
+    if (op.op != "add_object" && op.op != "add_link" && op.op != "del_link") {
+      return util::Status::InvalidArgument(
+          "ops[" + std::to_string(i) +
+          "].op must be \"add_object\", \"add_link\" or \"del_link\"");
+    }
+    if (op.op == "add_object") {
+      SCHEMEX_RETURN_IF_ERROR(f.GetString("kind", &op.kind));
+      if (op.kind != "complex" && op.kind != "atomic") {
+        return util::Status::InvalidArgument(
+            "ops[" + std::to_string(i) +
+            "].kind must be \"complex\" or \"atomic\"");
+      }
+      SCHEMEX_RETURN_IF_ERROR(f.GetString("name", &op.name));
+      SCHEMEX_RETURN_IF_ERROR(f.GetString("value", &op.value));
+    } else {
+      SCHEMEX_RETURN_IF_ERROR(f.GetUint("from", &op.from));
+      SCHEMEX_RETURN_IF_ERROR(f.GetUint("to", &op.to));
+      SCHEMEX_RETURN_IF_ERROR(
+          f.GetString("label", &op.label, /*required=*/true));
+    }
+    out->push_back(std::move(op));
+  }
+  return util::Status::OK();
+}
+
 }  // namespace
 
 std::string_view VerbToString(Verb v) {
@@ -101,6 +148,10 @@ std::string_view VerbToString(Verb v) {
       return "stats";
     case Verb::kListWorkspaces:
       return "list_workspaces";
+    case Verb::kApplyDelta:
+      return "apply_delta";
+    case Verb::kReExtract:
+      return "re_extract";
   }
   return "unknown";
 }
@@ -112,6 +163,8 @@ util::StatusOr<Verb> VerbFromString(std::string_view s) {
   if (s == "query") return Verb::kQuery;
   if (s == "stats") return Verb::kStats;
   if (s == "list_workspaces") return Verb::kListWorkspaces;
+  if (s == "apply_delta") return Verb::kApplyDelta;
+  if (s == "re_extract") return Verb::kReExtract;
   return util::Status::InvalidArgument("unknown verb \"" + std::string(s) +
                                        "\"");
 }
@@ -184,6 +237,32 @@ util::StatusOr<Request> ParseRequest(const json::Value& v) {
           params.GetString("query", &req.query.query, /*required=*/true));
       SCHEMEX_RETURN_IF_ERROR(params.GetBool("use_guide", &req.query.use_guide));
       SCHEMEX_RETURN_IF_ERROR(params.GetUint("limit", &req.query.limit));
+      break;
+    case Verb::kApplyDelta:
+      SCHEMEX_RETURN_IF_ERROR(params.GetString(
+          "workspace", &req.apply_delta.workspace, /*required=*/true));
+      SCHEMEX_RETURN_IF_ERROR(
+          ParseDeltaOps(params_it == obj.end() ? kEmptyObject
+                                               : params_it->second.AsObject(),
+                        &req.apply_delta.ops));
+      SCHEMEX_RETURN_IF_ERROR(
+          params.GetBool("compact", &req.apply_delta.compact));
+      break;
+    case Verb::kReExtract:
+      SCHEMEX_RETURN_IF_ERROR(params.GetString(
+          "workspace", &req.re_extract.workspace, /*required=*/true));
+      SCHEMEX_RETURN_IF_ERROR(params.GetUint("k", &req.re_extract.k));
+      SCHEMEX_RETURN_IF_ERROR(
+          params.GetUint("parallelism", &req.re_extract.parallelism));
+      SCHEMEX_RETURN_IF_ERROR(
+          params.GetString("save_dir", &req.re_extract.save_dir));
+      SCHEMEX_RETURN_IF_ERROR(params.GetDouble(
+          "max_dirty_fraction", &req.re_extract.max_dirty_fraction));
+      if (req.re_extract.max_dirty_fraction < 0 ||
+          req.re_extract.max_dirty_fraction > 1) {
+        return util::Status::InvalidArgument(
+            "max_dirty_fraction must be in [0, 1]");
+      }
       break;
     case Verb::kStats:
     case Verb::kListWorkspaces:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "json/json.h"
 #include "util/status.h"
@@ -20,6 +21,8 @@ enum class Verb {
   kQuery,
   kStats,
   kListWorkspaces,
+  kApplyDelta,
+  kReExtract,
 };
 
 std::string_view VerbToString(Verb v);
@@ -82,6 +85,49 @@ struct QueryParams {
   uint64_t limit = 100;
 };
 
+/// One mutation inside an apply_delta batch. `op` selects which of the
+/// remaining fields are read:
+///   "add_object": kind ("complex" | "atomic"), name, value (atomic only).
+///                 The new object's id is the view's NumObjects at the
+///                 time the op applies, so ops later in the same batch
+///                 can reference it (first new id = current object count,
+///                 echoed back in the response's new_ids).
+///   "add_link":   from, to, label (label is interned if new).
+///   "del_link":   from, to, label (label must exist, as must the edge).
+struct DeltaOp {
+  std::string op;
+  std::string kind = "complex";
+  std::string name;
+  std::string value;
+  uint64_t from = 0;
+  uint64_t to = 0;
+  std::string label;
+};
+
+/// apply_delta: mutate a cached workspace through a DeltaOverlay (created
+/// on first use, extended thereafter), online-typing new complex objects
+/// against the current program. The frozen snapshot is never touched.
+struct ApplyDeltaParams {
+  std::string workspace;
+  std::vector<DeltaOp> ops;
+  /// Fold the overlay into a fresh FrozenGraph after applying the batch
+  /// (bounds overlay growth; costs a full graph rebuild).
+  bool compact = false;
+};
+
+/// re_extract: incremental re-extraction of a mutated workspace, seeded
+/// from the extraction cache the last extract left behind (error if none).
+struct ReExtractParams {
+  std::string workspace;
+  /// Target number of types; 0 = reuse the cached run's k.
+  uint64_t k = 0;
+  uint64_t parallelism = 0;
+  std::string save_dir;
+  /// Dirty-set fallback threshold for incremental Stage 1 (fraction of
+  /// complex objects; exceeding it falls back to a cold refinement).
+  double max_dirty_fraction = 0.25;
+};
+
 /// One parsed request. Only the params struct matching `verb` is
 /// meaningful; the others stay default-initialized.
 struct Request {
@@ -94,6 +140,8 @@ struct Request {
   ExtractParams extract;
   TypeParams type;
   QueryParams query;
+  ApplyDeltaParams apply_delta;
+  ReExtractParams re_extract;
 };
 
 /// Wire format:

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <set>
@@ -7,13 +8,17 @@
 #include <utility>
 
 #include "extract/extractor.h"
+#include "extract/incremental_extract.h"
 #include "extract/knee.h"
+#include "graph/delta_overlay.h"
 #include "query/path_query.h"
 #include "query/schema_guide.h"
 #include "snapshot/mapped_file.h"
 #include "typing/defect.h"
 #include "typing/gfp.h"
+#include "typing/incremental.h"
 #include "typing/program_io.h"
+#include "typing/recast.h"
 #include "util/string_util.h"
 
 namespace schemex::service {
@@ -27,14 +32,34 @@ double SecondsSince(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double>(now - t0).count();
 }
 
+/// Cumulative online-typing tallies since the last extraction, including
+/// the §6 "re-extract now?" recommendation.
+Value MisfitFields(const catalog::Workspace& ws) {
+  const size_t fallback = ws.delta_arrivals - ws.delta_exact;
+  std::map<std::string, Value> m;
+  m["arrivals"] = JsonUint(ws.delta_arrivals);
+  m["exact"] = JsonUint(ws.delta_exact);
+  m["fallback"] = JsonUint(fallback);
+  m["misfit_fraction"] = Value::Number(
+      ws.delta_arrivals == 0
+          ? 0.0
+          : static_cast<double>(fallback) /
+                static_cast<double>(ws.delta_arrivals));
+  m["retype_recommended"] = Value::Bool(
+      typing::IncrementalTyper::RetypeRecommended(ws.delta_arrivals, fallback));
+  return Value::Object(std::move(m));
+}
+
 std::map<std::string, Value> WorkspaceSummaryFields(
     const std::string& name, const catalog::Workspace& ws) {
+  // Counts reflect the workspace as readers see it — overlay included.
+  graph::GraphView view = ws.View();
   std::map<std::string, Value> f;
   f["name"] = Value::String(name);
-  f["objects"] = JsonUint(ws.graph->NumObjects());
-  f["complex_objects"] = JsonUint(ws.graph->NumComplexObjects());
-  f["atomic_objects"] = JsonUint(ws.graph->NumAtomicObjects());
-  f["edges"] = JsonUint(ws.graph->NumEdges());
+  f["objects"] = JsonUint(view.NumObjects());
+  f["complex_objects"] = JsonUint(view.NumComplexObjects());
+  f["atomic_objects"] = JsonUint(view.NumAtomicObjects());
+  f["edges"] = JsonUint(view.NumEdges());
   f["num_types"] = JsonUint(ws.program.NumTypes());
   f["typed_objects"] = JsonUint(ws.assignment.NumTypedObjects());
   // Identity + footprint of the frozen snapshot. Two generations of the
@@ -42,6 +67,20 @@ std::map<std::string, Value> WorkspaceSummaryFields(
   // share the same FrozenGraph instance.
   f["graph_id"] = JsonUint(ws.graph->id());
   f["graph_bytes"] = JsonUint(ws.graph->MemoryUsage());
+  f["generation"] = JsonUint(ws.generation);
+  if (ws.overlay != nullptr) {
+    std::map<std::string, Value> d;
+    d["added_objects"] = JsonUint(ws.overlay->NumAddedObjects());
+    d["added_links"] = JsonUint(ws.overlay->NumAddedLinks());
+    d["deleted_links"] = JsonUint(ws.overlay->NumDeletedLinks());
+    d["touched_complex"] =
+        JsonUint(ws.overlay->TouchedComplexObjects().size());
+    d["overlay_bytes"] = JsonUint(ws.overlay->MemoryUsage());
+    f["overlay"] = Value::Object(std::move(d));
+  }
+  f["retype_recommended"] = Value::Bool(typing::IncrementalTyper::
+      RetypeRecommended(ws.delta_arrivals,
+                        ws.delta_arrivals - ws.delta_exact));
   return f;
 }
 
@@ -238,6 +277,10 @@ util::StatusOr<json::Value> Server::Dispatch(const Request& req,
       return HandleStats();
     case Verb::kListWorkspaces:
       return HandleListWorkspaces();
+    case Verb::kApplyDelta:
+      return HandleApplyDelta(req.apply_delta);
+    case Verb::kReExtract:
+      return HandleReExtract(req.re_extract, deadline);
   }
   return util::Status::Internal("unhandled verb");
 }
@@ -270,7 +313,7 @@ util::StatusOr<json::Value> Server::HandleLoadWorkspace(
 util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
                                                   Clock::time_point deadline) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::FrozenGraph& g = *snapshot->graph;
+  graph::GraphView g = snapshot->View();
 
   extract::ExtractorOptions opt;
   opt.stage1 = p.stage1 == "gfp"
@@ -300,12 +343,19 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
   SCHEMEX_ASSIGN_OR_RETURN(extract::ExtractionResult result,
                            extract::SchemaExtractor(opt).Run(g));
 
-  catalog::Workspace next;
-  // Share the frozen snapshot: the new generation differs only in its
-  // schema/assignment, so the swap is O(schema), not O(graph).
-  next.graph = snapshot->graph;
+  // Share the graph (and any overlay): the new generation differs only
+  // in its schema/assignment, so the swap is O(schema), not O(graph).
+  // The extraction leaves a cache behind — the seed of a later
+  // re_extract — and clears the mutation log: the new partition reflects
+  // every delta applied so far, so the log is spent.
+  catalog::Workspace next = *snapshot;
   next.program = result.final_program;
   next.assignment = result.recast.assignment;
+  next.extraction_cache = std::make_shared<const extract::ExtractionCache>(
+      extract::MakeExtractionCache(result, opt));
+  next.mutation_log.clear();
+  next.delta_arrivals = 0;
+  next.delta_exact = 0;
   SCHEMEX_RETURN_IF_ERROR(next.Validate());
 
   if (!p.save_dir.empty()) {
@@ -356,7 +406,7 @@ util::StatusOr<json::Value> Server::HandleExtract(const ExtractParams& p,
 
 util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::FrozenGraph& g = *snapshot->graph;
+  graph::GraphView g = snapshot->View();
 
   // Parse against a copy of the graph's interner: existing labels keep
   // their ids; labels unknown to the graph get fresh out-of-table ids and
@@ -405,8 +455,10 @@ util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
   f["committed"] = Value::Bool(p.commit);
 
   if (p.commit) {
-    catalog::Workspace next;
-    next.graph = snapshot->graph;  // shared; commit swaps only the schema
+    // Shared graph/overlay; commit swaps only the schema + assignment
+    // (the extraction cache and mutation log describe the graph, which
+    // this verb never changes, so they carry over).
+    catalog::Workspace next = *snapshot;
     next.program = std::move(program);
     next.assignment = typing::ExtentsToAssignment(extents);
     // An inline program may reference labels outside the graph's table;
@@ -419,7 +471,7 @@ util::StatusOr<json::Value> Server::HandleType(const TypeParams& p) {
 
 util::StatusOr<json::Value> Server::HandleQuery(const QueryParams& p) {
   SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
-  const graph::FrozenGraph& g = *snapshot->graph;
+  graph::GraphView g = snapshot->View();
 
   SCHEMEX_ASSIGN_OR_RETURN(query::PathQuery q,
                            query::ParsePathQuery(p.query));
@@ -473,16 +525,30 @@ util::StatusOr<json::Value> Server::HandleStats() {
   // across workspaces), so account each distinct instance once.
   size_t graph_bytes = 0;
   std::set<uint64_t> seen_graphs;
+  std::vector<Value> delta_rows;
   {
     util::ReaderMutexLock lock(cache_mu_);
     for (const auto& [name, ws] : cache_) {
       if (ws->graph && seen_graphs.insert(ws->graph->id()).second) {
         graph_bytes += ws->graph->MemoryUsage();
       }
+      // Per-workspace mutation state, including the §6 "re-extract now?"
+      // signal, for workspaces with any delta activity.
+      if (ws->generation > 0 || ws->overlay != nullptr ||
+          !ws->mutation_log.empty()) {
+        std::map<std::string, Value> r;
+        r["workspace"] = Value::String(name);
+        r["generation"] = JsonUint(ws->generation);
+        r["pending_batches"] = JsonUint(ws->mutation_log.size());
+        r["overlay"] = Value::Bool(ws->overlay != nullptr);
+        r["misfit"] = MisfitFields(*ws);
+        delta_rows.push_back(Value::Object(std::move(r)));
+      }
     }
   }
   std::map<std::string, Value> f;
   f["verbs"] = Value::Array(std::move(verbs));
+  if (!delta_rows.empty()) f["delta"] = Value::Array(std::move(delta_rows));
   // Transport-level counters (tcp.* when the TCP front end is attached).
   {
     std::map<std::string, Value> c;
@@ -516,6 +582,263 @@ util::StatusOr<json::Value> Server::HandleListWorkspaces() {
   }
   std::map<std::string, Value> f;
   f["workspaces"] = Value::Array(std::move(out));
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleApplyDelta(const ApplyDeltaParams& p) {
+  SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
+
+  // Mutate a private copy of the overlay (or a fresh one over the frozen
+  // snapshot): the cached workspace stays untouched until the final swap,
+  // so an op failing mid-batch leaves no trace.
+  auto overlay = snapshot->overlay
+                     ? std::make_shared<graph::DeltaOverlay>(*snapshot->overlay)
+                     : std::make_shared<graph::DeltaOverlay>(snapshot->graph);
+
+  std::vector<graph::ObjectId> new_ids;
+  std::vector<graph::ObjectId> batch_touched;
+  size_t objects_added = 0, links_added = 0, links_deleted = 0;
+  auto touch = [&](uint64_t id) {
+    if (id < overlay->NumObjects() &&
+        overlay->IsComplex(static_cast<graph::ObjectId>(id))) {
+      batch_touched.push_back(static_cast<graph::ObjectId>(id));
+    }
+  };
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const DeltaOp& op = p.ops[i];
+    util::Status s;
+    if (op.op == "add_object") {
+      graph::ObjectId id = op.kind == "atomic"
+                               ? overlay->AddAtomic(op.value, op.name)
+                               : overlay->AddComplex(op.name);
+      new_ids.push_back(id);
+      ++objects_added;
+      if (op.kind != "atomic") batch_touched.push_back(id);
+    } else if (op.op == "add_link") {
+      s = overlay->AddEdge(static_cast<graph::ObjectId>(op.from),
+                           static_cast<graph::ObjectId>(op.to),
+                           std::string_view(op.label));
+      if (s.ok()) {
+        ++links_added;
+        touch(op.from);
+        touch(op.to);
+      }
+    } else {  // del_link (parse guarantees the op set)
+      graph::LabelId label = overlay->labels().Find(op.label);
+      if (label == graph::kInvalidLabel) {
+        s = util::Status::NotFound("unknown label \"" + op.label + "\"");
+      } else {
+        s = overlay->RemoveEdge(static_cast<graph::ObjectId>(op.from),
+                                static_cast<graph::ObjectId>(op.to), label);
+      }
+      if (s.ok()) {
+        ++links_deleted;
+        touch(op.from);
+        touch(op.to);
+      }
+    }
+    if (!s.ok()) {
+      return util::Status(
+          s.code(), util::StringPrintf("ops[%zu]: ", i) + s.message());
+    }
+  }
+  std::sort(batch_touched.begin(), batch_touched.end());
+  batch_touched.erase(std::unique(batch_touched.begin(), batch_touched.end()),
+                      batch_touched.end());
+
+  // Online typing (§6): each new complex object joins every type it
+  // satisfies exactly; a misfit falls back to the nearest type by the
+  // simple distance. Counters feed the retype recommendation.
+  graph::GraphView view(*overlay);
+  typing::TypeAssignment tau = snapshot->assignment;
+  if (tau.NumObjects() != 0) tau.Resize(view.NumObjects());
+  size_t arrivals = 0, exact = 0;
+  if (snapshot->program.NumTypes() > 0 && tau.NumObjects() != 0) {
+    for (graph::ObjectId id : new_ids) {
+      if (view.IsAtomic(id)) continue;
+      ++arrivals;
+      bool fits = false;
+      for (size_t t = 0; t < snapshot->program.NumTypes(); ++t) {
+        typing::TypeId tid = static_cast<typing::TypeId>(t);
+        if (typing::SatisfiesUnderAssignment(
+                snapshot->program.type(tid).signature, view, tau, id)) {
+          tau.Assign(id, tid);
+          fits = true;
+        }
+      }
+      if (fits) {
+        ++exact;
+        continue;
+      }
+      typing::TypeId nearest =
+          typing::NearestType(snapshot->program, view, tau, id);
+      if (nearest != typing::kInvalidType) tau.Assign(id, nearest);
+    }
+  }
+
+  catalog::Workspace next = *snapshot;
+  next.assignment = std::move(tau);
+  next.generation = snapshot->generation + 1;
+  if (p.compact) {
+    next.graph = overlay->Compact();
+    next.overlay = nullptr;
+  } else {
+    next.overlay = overlay;
+  }
+  catalog::MutationRecord rec;
+  rec.generation = next.generation;
+  rec.touched_complex = batch_touched;
+  rec.objects_added = objects_added;
+  rec.links_added = links_added;
+  rec.links_deleted = links_deleted;
+  next.mutation_log.push_back(std::move(rec));
+  next.delta_arrivals += arrivals;
+  next.delta_exact += exact;
+  SCHEMEX_RETURN_IF_ERROR(next.Validate());
+
+  metrics_.AddCounter("delta.batches", 1);
+  metrics_.AddCounter("delta.objects_added",
+                      static_cast<int64_t>(objects_added));
+  metrics_.AddCounter("delta.links_added", static_cast<int64_t>(links_added));
+  metrics_.AddCounter("delta.links_deleted",
+                      static_cast<int64_t>(links_deleted));
+  if (p.compact) metrics_.AddCounter("delta.compactions", 1);
+
+  std::map<std::string, Value> f;
+  f["workspace"] = Value::String(p.workspace);
+  f["generation"] = JsonUint(next.generation);
+  {
+    std::vector<Value> ids;
+    ids.reserve(new_ids.size());
+    for (graph::ObjectId id : new_ids) ids.push_back(JsonUint(id));
+    f["new_ids"] = Value::Array(std::move(ids));
+  }
+  f["objects_added"] = JsonUint(objects_added);
+  f["links_added"] = JsonUint(links_added);
+  f["links_deleted"] = JsonUint(links_deleted);
+  f["touched_complex"] = JsonUint(batch_touched.size());
+  f["compacted"] = Value::Bool(p.compact);
+  f["misfit"] = MisfitFields(next);
+
+  PutWorkspace(p.workspace, std::move(next));
+  return Value::Object(std::move(f));
+}
+
+util::StatusOr<json::Value> Server::HandleReExtract(
+    const ReExtractParams& p, Clock::time_point deadline) {
+  SCHEMEX_ASSIGN_OR_RETURN(WorkspacePtr snapshot, GetWorkspace(p.workspace));
+  if (snapshot->extraction_cache == nullptr) {
+    return util::Status::FailedPrecondition(
+        "workspace \"" + p.workspace +
+        "\" has no extraction cache; run extract first");
+  }
+  const extract::ExtractionCache& cache = *snapshot->extraction_cache;
+  graph::GraphView g = snapshot->View();
+
+  // Dirty seed: every complex object any batch since the last extraction
+  // touched. The log (not the overlay's cumulative set) is what matters —
+  // a compacted workspace has no overlay but still owes these objects a
+  // re-check, and an extract resets the log.
+  std::vector<graph::ObjectId> touched;
+  for (const catalog::MutationRecord& r : snapshot->mutation_log) {
+    touched.insert(touched.end(), r.touched_complex.begin(),
+                   r.touched_complex.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  const size_t parallelism = p.parallelism != 0
+                                 ? static_cast<size_t>(p.parallelism)
+                                 : options_.default_parallelism;
+  extract::IncrementalOptions inc;
+  inc.max_dirty_fraction = p.max_dirty_fraction;
+  extract::ReExtractStats rstats;
+  SCHEMEX_ASSIGN_OR_RETURN(
+      extract::ExtractionResult result,
+      extract::ReExtract(g, cache, touched, static_cast<size_t>(p.k),
+                         parallelism, DeadlineHook(deadline), inc, &rstats));
+  const size_t chosen_k =
+      p.k != 0 ? static_cast<size_t>(p.k) : cache.chosen_k;
+
+  // The options the run effectively replayed, for the fresh cache.
+  extract::ExtractorOptions opt;
+  opt.stage1 = cache.options.stage1;
+  opt.decompose_roles = cache.options.decompose_roles;
+  opt.psi = cache.options.psi;
+  opt.enable_empty_type = cache.options.enable_empty_type;
+  opt.recast = cache.options.recast;
+  opt.target_num_types = chosen_k;
+
+  catalog::Workspace next = *snapshot;
+  next.program = result.final_program;
+  next.assignment = result.recast.assignment;
+  next.extraction_cache = std::make_shared<const extract::ExtractionCache>(
+      extract::MakeExtractionCache(result, opt));
+  next.mutation_log.clear();
+  next.delta_arrivals = 0;
+  next.delta_exact = 0;
+  SCHEMEX_RETURN_IF_ERROR(next.Validate());
+
+  if (!p.save_dir.empty()) {
+    SCHEMEX_RETURN_IF_ERROR(catalog::SaveWorkspace(next, p.save_dir));
+  }
+
+  metrics_.AddCounter("delta.re_extracts", 1);
+  if (rstats.incremental_stage1) {
+    metrics_.AddCounter("delta.incremental_stage1", 1);
+  }
+  if (rstats.stage2_reused) metrics_.AddCounter("delta.stage2_reused", 1);
+
+  std::map<std::string, Value> f;
+  f["workspace"] = Value::String(p.workspace);
+  f["k"] = JsonUint(chosen_k);
+  f["generation"] = JsonUint(next.generation);
+  f["num_perfect_types"] = JsonUint(result.num_perfect_types);
+  f["num_final_types"] = JsonUint(result.num_final_types);
+  {
+    std::map<std::string, Value> d;
+    d["excess"] = JsonUint(result.defect.excess);
+    d["deficit"] = JsonUint(result.defect.deficit);
+    d["defect"] = JsonUint(result.defect.defect());
+    f["defect"] = Value::Object(std::move(d));
+  }
+  {
+    std::map<std::string, Value> r;
+    r["exact"] = JsonUint(result.recast.num_exact);
+    r["fallback"] = JsonUint(result.recast.num_fallback);
+    r["untyped"] = JsonUint(result.recast.num_untyped);
+    f["recast"] = Value::Object(std::move(r));
+  }
+  {
+    std::map<std::string, Value> t;
+    t["stage1_ms"] = Value::Number(result.timings.stage1_ms);
+    t["cluster_ms"] = Value::Number(result.timings.cluster_ms);
+    t["recast_ms"] = Value::Number(result.timings.recast_ms);
+    t["total_ms"] = Value::Number(result.timings.total_ms);
+    f["timings"] = Value::Object(std::move(t));
+    metrics_.Record("extract.stage1", result.timings.stage1_ms,
+                    /*ok=*/true, /*timeout=*/false);
+    metrics_.Record("extract.cluster", result.timings.cluster_ms,
+                    /*ok=*/true, /*timeout=*/false);
+    metrics_.Record("extract.recast", result.timings.recast_ms,
+                    /*ok=*/true, /*timeout=*/false);
+  }
+  {
+    std::map<std::string, Value> i;
+    i["stage1_incremental"] = Value::Bool(rstats.incremental_stage1);
+    if (!rstats.stage1_fallback_reason.empty()) {
+      i["stage1_fallback_reason"] =
+          Value::String(rstats.stage1_fallback_reason);
+    }
+    i["dirty_seed"] = JsonUint(rstats.dirty_seed);
+    i["dirty_peak"] = JsonUint(rstats.dirty_peak);
+    i["rounds"] = JsonUint(rstats.rounds);
+    i["stage2_reused"] = Value::Bool(rstats.stage2_reused);
+    f["incremental"] = Value::Object(std::move(i));
+  }
+  if (!p.save_dir.empty()) f["saved_to"] = Value::String(p.save_dir);
+
+  PutWorkspace(p.workspace, std::move(next));
   return Value::Object(std::move(f));
 }
 

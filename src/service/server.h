@@ -105,6 +105,9 @@ class Server {
   util::StatusOr<json::Value> HandleQuery(const QueryParams& p);
   util::StatusOr<json::Value> HandleStats();
   util::StatusOr<json::Value> HandleListWorkspaces();
+  util::StatusOr<json::Value> HandleApplyDelta(const ApplyDeltaParams& p);
+  util::StatusOr<json::Value> HandleReExtract(const ReExtractParams& p,
+                                              Clock::time_point deadline);
 
   /// Snapshot of a cache entry (shared lock held only for the map read).
   util::StatusOr<WorkspacePtr> GetWorkspace(const std::string& name) const

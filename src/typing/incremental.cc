@@ -2,13 +2,7 @@
 
 namespace schemex::typing {
 
-namespace {
-
-/// Witness check under an assignment (not GFP extents): the §6 "assign
-/// the new objects to all types that it satisfies completely" test, where
-/// neighbors count through their *assigned* types.
-bool SatisfiedUnderAssignment(const TypeSignature& sig,
-                              const graph::DataGraph& g,
+bool SatisfiesUnderAssignment(const TypeSignature& sig, graph::GraphView g,
                               const TypeAssignment& tau, graph::ObjectId o) {
   for (const TypedLink& l : sig.links()) {
     bool ok = false;
@@ -34,8 +28,6 @@ bool SatisfiedUnderAssignment(const TypeSignature& sig,
   }
   return true;
 }
-
-}  // namespace
 
 IncrementalTyper::IncrementalTyper(TypingProgram program,
                                    graph::DataGraph base,
@@ -72,7 +64,7 @@ util::StatusOr<IncrementalTyper::TypedObject> IncrementalTyper::AddAndType(
   assignment_.Resize(graph_.NumObjects());
 
   for (size_t t = 0; t < program_.NumTypes(); ++t) {
-    if (SatisfiedUnderAssignment(
+    if (SatisfiesUnderAssignment(
             program_.type(static_cast<TypeId>(t)).signature, graph_,
             assignment_, result.id)) {
       result.exact_types.push_back(static_cast<TypeId>(t));
@@ -101,9 +93,16 @@ double IncrementalTyper::MeanFallbackDistance() const {
 
 bool IncrementalTyper::RetypeRecommended(double misfit_fraction,
                                          size_t min_arrivals) const {
-  if (num_added_ < min_arrivals) return false;
-  return static_cast<double>(num_fallback()) >
-         misfit_fraction * static_cast<double>(num_added_);
+  return RetypeRecommended(num_added_, num_fallback(), misfit_fraction,
+                           min_arrivals);
+}
+
+bool IncrementalTyper::RetypeRecommended(size_t num_added, size_t num_fallback,
+                                         double misfit_fraction,
+                                         size_t min_arrivals) {
+  if (num_added < min_arrivals) return false;
+  return static_cast<double>(num_fallback) >
+         misfit_fraction * static_cast<double>(num_added);
 }
 
 }  // namespace schemex::typing

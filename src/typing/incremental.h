@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/data_graph.h"
+#include "graph/graph_view.h"
 #include "typing/assignment.h"
 #include "typing/bit_signature.h"
 #include "typing/recast.h"
@@ -13,6 +14,14 @@
 #include "util/statusor.h"
 
 namespace schemex::typing {
+
+/// Witness check under an assignment (not GFP extents): the §6 "assign
+/// the new objects to all types that it satisfies completely" test,
+/// where neighbors count through their *assigned* types. Shared by
+/// IncrementalTyper and the service's apply_delta online typing (which
+/// probes over a DeltaOverlay view instead of an owned DataGraph).
+bool SatisfiesUnderAssignment(const TypeSignature& sig, graph::GraphView g,
+                              const TypeAssignment& tau, graph::ObjectId o);
 
 /// Online typing of objects arriving after extraction (§6): "First we
 /// assign the new objects to all types that it satisfies completely. If
@@ -66,6 +75,14 @@ class IncrementalTyper {
   /// extraction on the accumulated data.
   bool RetypeRecommended(double misfit_fraction = 0.25,
                          size_t min_arrivals = 10) const;
+
+  /// The same threshold rule over externally tracked counters, for
+  /// callers (the service's apply_delta path) that type arrivals without
+  /// owning an IncrementalTyper: true when more than `misfit_fraction`
+  /// of at least `min_arrivals` arrivals needed the distance fallback.
+  static bool RetypeRecommended(size_t num_added, size_t num_fallback,
+                                double misfit_fraction = 0.25,
+                                size_t min_arrivals = 10);
 
   const graph::DataGraph& graph() const { return graph_; }
   const TypeAssignment& assignment() const { return assignment_; }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "typing/refine_internal.h"
 #include "util/parallel_for.h"
 #include "util/string_util.h"
 
@@ -31,10 +32,29 @@ TypeSignature LocalPicture(graph::GraphView g, graph::ObjectId o,
   return TypeSignature::FromLinks(std::move(links));
 }
 
-PerfectTypingResult AssembleResult(graph::GraphView g,
-                                   const std::vector<TypeId>& class_of,
-                                   size_t num_classes,
-                                   const char* name_prefix) {
+// --- Hash refinement internals. -------------------------------------------
+
+/// Shared with the incremental re-refiner — see refine_internal.h.
+using internal::EncodeRefineLink;
+using internal::Mix64;
+
+/// Per-worker state for one shard of complex objects, reused across
+/// rounds so steady-state rounds allocate nothing.
+struct RefinementShard {
+  size_t begin = 0;  ///< range [begin, end) of complex-object indices
+  size_t end = 0;
+  std::vector<uint64_t> arena;   ///< canonical encodings, back to back
+  std::vector<uint64_t> scratch; ///< one object's links, sorted + deduped
+};
+
+}  // namespace
+
+namespace internal {
+
+PerfectTypingResult AssembleRefinementResult(graph::GraphView g,
+                                             const std::vector<TypeId>& class_of,
+                                             size_t num_classes,
+                                             const char* name_prefix) {
   PerfectTypingResult result;
   result.home.assign(g.NumObjects(), kInvalidType);
   result.weight.assign(num_classes, 0);
@@ -60,39 +80,7 @@ PerfectTypingResult AssembleResult(graph::GraphView g,
   return result;
 }
 
-// --- Hash refinement internals. -------------------------------------------
-
-/// Injective encoding of one local-picture link over block ids:
-///   [63:33] label (31 bits)   [32] direction   [31:0] target block + 1
-/// target is kAtomicType (-1, encoding to 0) or a block id; block ids are
-/// TypeIds < 2^31, so target + 1 always fits 32 bits. Injectivity needs
-/// label < 2^31, guarded at the entry point.
-inline uint64_t EncodeLink(Direction dir, graph::LabelId label,
-                           TypeId target) {
-  return (static_cast<uint64_t>(label) << 33) |
-         (static_cast<uint64_t>(dir == Direction::kOutgoing ? 1 : 0) << 32) |
-         static_cast<uint64_t>(static_cast<uint32_t>(target + 1));
-}
-
-/// splitmix64 finalizer — the per-round signature hash folds the previous
-/// block id and every canonical link through this mix.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-/// Per-worker state for one shard of complex objects, reused across
-/// rounds so steady-state rounds allocate nothing.
-struct RefinementShard {
-  size_t begin = 0;  ///< range [begin, end) of complex-object indices
-  size_t end = 0;
-  std::vector<uint64_t> arena;   ///< canonical encodings, back to back
-  std::vector<uint64_t> scratch; ///< one object's links, sorted + deduped
-};
-
-}  // namespace
+}  // namespace internal
 
 size_t PerfectTypingResult::NumComplexObjects() const {
   size_t n = 0;
@@ -170,7 +158,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaGfp(
       class_of[o] = class_of_candidate[static_cast<size_t>(candidate[o])];
     }
   }
-  return AssembleResult(g, class_of, num_classes, "type");
+  return internal::AssembleRefinementResult(g, class_of, num_classes, "type");
 }
 
 util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
@@ -205,7 +193,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaRefinement(
     if (next_count == num_blocks) break;
     num_blocks = next_count;
   }
-  return AssembleResult(g, block, num_blocks, "type");
+  return internal::AssembleRefinementResult(g, block, num_blocks, "type");
 }
 
 util::StatusOr<PerfectTypingResult> PerfectTypingViaHashRefinement(
@@ -279,13 +267,13 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaHashRefinement(
         std::vector<uint64_t>& scratch = shard.scratch;
         scratch.clear();
         for (const graph::HalfEdge& e : g.OutEdges(o)) {
-          scratch.push_back(EncodeLink(
+          scratch.push_back(EncodeRefineLink(
               Direction::kOutgoing, e.label,
               g.IsAtomic(e.other) ? kAtomicType : block[e.other]));
         }
         for (const graph::HalfEdge& e : g.InEdges(o)) {
           scratch.push_back(
-              EncodeLink(Direction::kIncoming, e.label, block[e.other]));
+              EncodeRefineLink(Direction::kIncoming, e.label, block[e.other]));
         }
         // Canonical form: the local picture is a *set* of typed links, so
         // sort and dedupe — the moral equivalent of TypeSignature's
@@ -337,7 +325,7 @@ util::StatusOr<PerfectTypingResult> PerfectTypingViaHashRefinement(
     if (next_count == num_blocks) break;
     num_blocks = next_count;
   }
-  return AssembleResult(g, block, num_blocks, "type");
+  return internal::AssembleRefinementResult(g, block, num_blocks, "type");
 }
 
 util::StatusOr<Extents> PerfectTypingExtents(const PerfectTypingResult& r,

@@ -1,0 +1,53 @@
+#ifndef SCHEMEX_TYPING_REFINE_INTERNAL_H_
+#define SCHEMEX_TYPING_REFINE_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "typing/perfect_typing.h"
+#include "typing/typed_link.h"
+
+/// Internals shared by the Stage-1 refinement implementations
+/// (perfect_typing.cc) and the incremental re-refiner
+/// (incremental_refine.cc). Both sides MUST use these exact primitives:
+/// the incremental path's bit-identity guarantee rests on encoding
+/// pictures, hashing and assembling results the same way the cold path
+/// does.
+namespace schemex::typing::internal {
+
+/// Injective encoding of one local-picture link over block ids:
+///   [63:33] label (31 bits)   [32] direction   [31:0] target block + 1
+/// target is kAtomicType (-1, encoding to 0) or a block id; block ids are
+/// TypeIds < 2^31, so target + 1 always fits 32 bits. Injectivity needs
+/// label < 2^31, guarded at the entry points.
+inline uint64_t EncodeRefineLink(Direction dir, graph::LabelId label,
+                                 TypeId target) {
+  return (static_cast<uint64_t>(label) << 33) |
+         (static_cast<uint64_t>(dir == Direction::kOutgoing ? 1 : 0) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(target + 1));
+}
+
+/// splitmix64 finalizer — the refinement signature hashes fold canonical
+/// links through this mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Builds a PerfectTypingResult from a finished partition: home = class,
+/// weight = class size, one rule per class from the first member's local
+/// picture over class ids, names "<prefix>1".."<prefix>N". `class_of`
+/// must hold dense class ids [0, num_classes) for complex objects (and
+/// anything for atomic ones). Every Stage-1 path funnels through this,
+/// so equal partitions yield bit-identical results.
+PerfectTypingResult AssembleRefinementResult(graph::GraphView g,
+                                             const std::vector<TypeId>& class_of,
+                                             size_t num_classes,
+                                             const char* name_prefix);
+
+}  // namespace schemex::typing::internal
+
+#endif  // SCHEMEX_TYPING_REFINE_INTERNAL_H_

@@ -1,0 +1,250 @@
+// DeltaOverlay equivalence suite. The reference model is a DataGraph
+// mutated by the same op sequence: every read (counts, kinds, values,
+// adjacency, label table), every Status outcome, and the bytes of a
+// snapshot written from Compact() must match the reference exactly.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gen/dbg.h"
+#include "graph/data_graph.h"
+#include "graph/delta_overlay.h"
+#include "graph/frozen_graph.h"
+#include "graph/graph_view.h"
+#include "snapshot/snapshot.h"
+#include "tests/test_util.h"
+
+namespace schemex::graph {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Asserts the overlay and the reference DataGraph answer every read
+/// identically (object by object, edge by edge).
+void ExpectSameReads(const DeltaOverlay& ov, const DataGraph& ref) {
+  ASSERT_EQ(ov.NumObjects(), ref.NumObjects());
+  EXPECT_EQ(ov.NumComplexObjects(), ref.NumComplexObjects());
+  EXPECT_EQ(ov.NumAtomicObjects(), ref.NumAtomicObjects());
+  EXPECT_EQ(ov.NumEdges(), ref.NumEdges());
+  ASSERT_EQ(ov.labels().size(), ref.labels().size());
+  for (LabelId l = 0; l < static_cast<LabelId>(ref.labels().size()); ++l) {
+    EXPECT_EQ(ov.labels().Name(l), ref.labels().Name(l)) << "label " << l;
+  }
+  for (ObjectId o = 0; o < ref.NumObjects(); ++o) {
+    EXPECT_EQ(ov.IsAtomic(o), ref.IsAtomic(o)) << "object " << o;
+    EXPECT_EQ(ov.Value(o), ref.Value(o)) << "object " << o;
+    EXPECT_EQ(ov.Name(o), ref.Name(o)) << "object " << o;
+    auto ov_out = ov.OutEdges(o);
+    auto ref_out = ref.OutEdges(o);
+    ASSERT_EQ(ov_out.size(), ref_out.size()) << "out row of " << o;
+    for (size_t i = 0; i < ov_out.size(); ++i) {
+      EXPECT_EQ(ov_out[i], ref_out[i]) << "out edge " << i << " of " << o;
+    }
+    auto ov_in = ov.InEdges(o);
+    auto ref_in = ref.InEdges(o);
+    ASSERT_EQ(ov_in.size(), ref_in.size()) << "in row of " << o;
+    for (size_t i = 0; i < ov_in.size(); ++i) {
+      EXPECT_EQ(ov_in[i], ref_in[i]) << "in edge " << i << " of " << o;
+    }
+  }
+}
+
+TEST(DeltaOverlayTest, EmptyDeltaReadsThroughToBase) {
+  DataGraph base = test::MakeFigure2Database();
+  auto frozen = Freeze(base);
+  DeltaOverlay ov(frozen);
+  ExpectSameReads(ov, base);
+  EXPECT_EQ(ov.generation(), 0u);
+  EXPECT_EQ(ov.NumAddedObjects(), 0u);
+  EXPECT_TRUE(ov.TouchedComplexObjects().empty());
+  EXPECT_EQ(ov.TouchedComplexFraction(), 0.0);
+  ASSERT_OK(ov.Validate());
+}
+
+TEST(DeltaOverlayTest, MutationsMirrorDataGraph) {
+  DataGraph ref = test::MakeFigure2Database();
+  auto frozen = Freeze(ref);
+  DeltaOverlay ov(frozen);
+
+  // New objects after the base id space, ids matching the reference.
+  ObjectId p = ov.AddComplex("p");
+  EXPECT_EQ(p, ref.AddComplex("p"));
+  ObjectId v = ov.AddAtomic("Person", "v");
+  EXPECT_EQ(v, ref.AddAtomic("Person", "v"));
+
+  // New edges: base-to-new, new-to-base, fresh label.
+  ASSERT_OK(ov.AddEdge(p, v, "kind"));
+  ASSERT_OK(ref.AddEdge(p, v, "kind"));
+  ASSERT_OK(ov.AddEdge(0, p, "knows"));
+  ASSERT_OK(ref.AddEdge(0, p, "knows"));
+
+  // Delete a base-resident edge.
+  LabelId name = ov.labels().Find("name");
+  ASSERT_NE(name, kInvalidLabel);
+  ASSERT_OK(ov.RemoveEdge(0, 4, name));
+  ASSERT_OK(ref.RemoveEdge(0, 4, name));
+
+  ExpectSameReads(ov, ref);
+  ASSERT_OK(ov.Validate());
+  EXPECT_EQ(ov.NumAddedObjects(), 2u);
+  EXPECT_EQ(ov.NumAddedLinks(), 2u);
+  EXPECT_EQ(ov.NumDeletedLinks(), 1u);
+  EXPECT_GT(ov.generation(), 0u);
+}
+
+TEST(DeltaOverlayTest, StatusSemanticsMatchDataGraph) {
+  DataGraph ref = test::MakeFigure2Database();
+  auto frozen = Freeze(ref);
+  DeltaOverlay ov(frozen);
+  LabelId name = ov.labels().Find("name");
+
+  struct Case {
+    const char* what;
+    util::Status got;
+    util::Status want;
+  };
+  // Each failing op runs against both models; codes AND messages match.
+  std::vector<Case> cases;
+  cases.push_back({"out-of-range from", ov.AddEdge(99, 0, name),
+                   ref.AddEdge(99, 0, name)});
+  cases.push_back({"out-of-range to", ov.AddEdge(0, 99, name),
+                   ref.AddEdge(0, 99, name)});
+  cases.push_back({"atomic source", ov.AddEdge(4, 0, name),
+                   ref.AddEdge(4, 0, name)});
+  cases.push_back({"duplicate edge", ov.AddEdge(0, 4, name),
+                   ref.AddEdge(0, 4, name)});
+  cases.push_back({"remove missing edge", ov.RemoveEdge(0, 1, name),
+                   ref.RemoveEdge(0, 1, name)});
+  cases.push_back({"remove out-of-range", ov.RemoveEdge(99, 0, name),
+                   ref.RemoveEdge(99, 0, name)});
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.got.code(), c.want.code()) << c.what;
+    EXPECT_EQ(c.got.message(), c.want.message()) << c.what;
+  }
+  // Failed ops leave no trace.
+  ExpectSameReads(ov, ref);
+  EXPECT_EQ(ov.generation(), 0u);
+}
+
+TEST(DeltaOverlayTest, CopyIsolatesDeltas) {
+  DataGraph base = test::MakeFigure2Database();
+  auto frozen = Freeze(base);
+  DeltaOverlay a(frozen);
+  ASSERT_OK(a.AddEdge(0, 1, "peer"));
+  DeltaOverlay b = a;  // copy shares the base, clones the delta
+  ObjectId nb = b.AddComplex("only-in-b");
+  ASSERT_OK(b.AddEdge(nb, 0, "ref"));
+  LabelId name = a.labels().Find("name");
+  ASSERT_OK(a.RemoveEdge(0, 4, name));
+
+  EXPECT_EQ(a.NumObjects(), base.NumObjects());
+  EXPECT_EQ(b.NumObjects(), base.NumObjects() + 1);
+  EXPECT_FALSE(a.HasEdge(nb, 0, b.labels().Find("ref")));
+  EXPECT_TRUE(b.HasEdge(0, 4, name));
+  EXPECT_FALSE(a.HasEdge(0, 4, name));
+  ASSERT_OK(a.Validate());
+  ASSERT_OK(b.Validate());
+}
+
+TEST(DeltaOverlayTest, TouchedComplexObjectsIsSortedConservativeSet) {
+  DataGraph base = test::MakeFigure2Database();
+  auto frozen = Freeze(base);
+  DeltaOverlay ov(frozen);
+  ObjectId p = ov.AddComplex("p");
+  ASSERT_OK(ov.AddEdge(1, p, "knows"));
+  // Add then remove: endpoints stay touched (conservative).
+  ASSERT_OK(ov.AddEdge(0, 1, "peer"));
+  LabelId peer = ov.labels().Find("peer");
+  ASSERT_OK(ov.RemoveEdge(0, 1, peer));
+
+  std::vector<ObjectId> touched = ov.TouchedComplexObjects();
+  EXPECT_EQ(touched, (std::vector<ObjectId>{0, 1, p}));
+  EXPECT_GT(ov.TouchedComplexFraction(), 0.0);
+}
+
+TEST(DeltaOverlayTest, CompactSnapshotBytesMatchMutatedDataGraph) {
+  // Larger base + randomized delta: Compact() must produce a FrozenGraph
+  // whose serialized snapshot is byte-identical to freezing a DataGraph
+  // that saw the same ops.
+  ASSERT_OK_AND_ASSIGN(DataGraph ref, gen::MakeDbgDataset(5));
+  auto frozen = Freeze(ref);
+  DeltaOverlay ov(frozen);
+
+  std::mt19937 rng(1234);
+  auto rnd = [&](size_t n) { return static_cast<uint32_t>(rng() % n); };
+  std::vector<ObjectId> complexes;
+  for (ObjectId o = 0; o < ref.NumObjects(); ++o) {
+    if (ref.IsComplex(o)) complexes.push_back(o);
+  }
+  for (int i = 0; i < 40; ++i) {
+    int kind = static_cast<int>(rng() % 4);
+    if (kind == 0) {
+      std::string name = "n" + std::to_string(i);
+      EXPECT_EQ(ov.AddComplex(name), ref.AddComplex(name));
+    } else if (kind == 1) {
+      std::string val = "v" + std::to_string(i);
+      EXPECT_EQ(ov.AddAtomic(val), ref.AddAtomic(val));
+    } else if (kind == 2) {
+      ObjectId from = complexes[rnd(complexes.size())];
+      ObjectId to = rnd(ref.NumObjects());
+      std::string label = "l" + std::to_string(rng() % 6);
+      util::Status a = ov.AddEdge(from, to, label);
+      util::Status b = ref.AddEdge(from, to, label);
+      EXPECT_EQ(a.code(), b.code());
+    } else {
+      ObjectId from = complexes[rnd(complexes.size())];
+      auto out = ref.OutEdges(from);
+      if (out.empty()) continue;
+      const HalfEdge e = out[rnd(out.size())];
+      ASSERT_OK(ov.RemoveEdge(from, e.other, e.label));
+      ASSERT_OK(ref.RemoveEdge(from, e.other, e.label));
+    }
+  }
+  ExpectSameReads(ov, ref);
+  ASSERT_OK(ov.Validate());
+
+  auto compacted = ov.Compact();
+  auto ref_frozen = Freeze(ref);
+
+  fs::path dir = fs::temp_directory_path() /
+                 ("schemex_overlay_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  ASSERT_OK(snapshot::Write(*compacted, (dir / "a.bin").string()));
+  ASSERT_OK(snapshot::Write(*ref_frozen, (dir / "b.bin").string()));
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  std::string a = slurp(dir / "a.bin");
+  std::string b = slurp(dir / "b.bin");
+  fs::remove_all(dir);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "Compact() snapshot drifted from the reference freeze";
+}
+
+TEST(DeltaOverlayTest, GraphViewRoutesThroughOverlay) {
+  DataGraph base = test::MakeFigure2Database();
+  auto frozen = Freeze(base);
+  DeltaOverlay ov(frozen);
+  ObjectId p = ov.AddComplex("p");
+  ASSERT_OK(ov.AddEdge(p, 0, "knows"));
+
+  GraphView view(ov);
+  EXPECT_EQ(view.NumObjects(), ov.NumObjects());
+  EXPECT_EQ(view.NumEdges(), ov.NumEdges());
+  EXPECT_FALSE(view.IsAtomic(p));
+  ASSERT_EQ(view.OutEdges(p).size(), 1u);
+  EXPECT_EQ(view.OutEdges(p)[0].other, 0u);
+  EXPECT_EQ(view.InEdges(0).size(), ov.InEdges(0).size());
+  EXPECT_EQ(&view.labels(), &ov.labels());
+}
+
+}  // namespace
+}  // namespace schemex::graph

@@ -164,6 +164,114 @@ TEST_F(DeterminismTest, ExtractResponseAndArtifactsAcrossRunsAndThreads) {
   }
 }
 
+TEST_F(DeterminismTest, IncrementalReExtractMatchesColdExtraction) {
+  // The incremental service path — extract (installs the cache), then
+  // apply_delta, then re_extract — must save artifacts byte-identical
+  // to a cold extraction of an equivalently mutated graph, at every
+  // parallelism and in both overlay and compacted forms.
+  catalog::Workspace seed_ws = MakeDbgWorkspace();
+  ASSERT_OK(catalog::SaveWorkspace(seed_ws, (dir_ / "seed").string()));
+
+  // Reference model: the same base graph mutated by the same ops through
+  // DataGraph (the op sequence fixes the label-intern order on both
+  // sides), then extracted cold through the same server verb.
+  auto base = gen::MakeDbgDataset(3);
+  ASSERT_TRUE(base.ok());
+  graph::DataGraph ref = *base;
+  std::vector<graph::ObjectId> cs;
+  for (graph::ObjectId o = 0;
+       o < ref.NumObjects() && cs.size() < 2; ++o) {
+    if (ref.IsComplex(o)) cs.push_back(o);
+  }
+  ASSERT_EQ(cs.size(), 2u);
+  const graph::ObjectId c1 = cs[0], c2 = cs[1];
+  const graph::ObjectId n0 = static_cast<graph::ObjectId>(ref.NumObjects());
+  ASSERT_FALSE(ref.OutEdges(c1).empty());
+  const graph::HalfEdge del = ref.OutEdges(c1).front();
+  const std::string del_label = ref.labels().Name(del.label);
+
+  auto id = [](graph::ObjectId o) { return std::to_string(o); };
+  const std::string ops =
+      "[{\"op\":\"add_object\",\"kind\":\"complex\",\"name\":\"newc\"},"
+      "{\"op\":\"add_object\",\"kind\":\"atomic\",\"value\":\"newv\"},"
+      "{\"op\":\"add_link\",\"from\":" + id(c1) + ",\"to\":" + id(n0) +
+      ",\"label\":\"delta_ref\"},"
+      "{\"op\":\"add_link\",\"from\":" + id(n0) + ",\"to\":" + id(n0 + 1) +
+      ",\"label\":\"delta_attr\"},"
+      "{\"op\":\"add_link\",\"from\":" + id(n0) + ",\"to\":" + id(c2) +
+      ",\"label\":\"delta_ref\"},"
+      "{\"op\":\"del_link\",\"from\":" + id(c1) + ",\"to\":" + id(del.other) +
+      ",\"label\":\"" + del_label + "\"}]";
+
+  ASSERT_EQ(ref.AddComplex("newc"), n0);
+  ASSERT_EQ(ref.AddAtomic("newv"), n0 + 1);
+  ASSERT_OK(ref.AddEdge(c1, n0, "delta_ref"));
+  ASSERT_OK(ref.AddEdge(n0, n0 + 1, "delta_attr"));
+  ASSERT_OK(ref.AddEdge(n0, c2, "delta_ref"));
+  ASSERT_OK(ref.RemoveEdge(c1, del.other, del.label));
+
+  catalog::Workspace ref_ws;
+  ref_ws.SetGraph(ref);
+  ASSERT_OK(catalog::SaveWorkspace(ref_ws, (dir_ / "refseed").string()));
+  RunServerExtract(dir_ / "refseed", dir_ / "refout", 1);
+  auto cold_artifacts = ReadDirBytes(dir_ / "refout");
+  ASSERT_EQ(cold_artifacts.count("schema.dl"), 1u);
+  ASSERT_EQ(cold_artifacts.count("snapshot.bin"), 1u);
+  ASSERT_EQ(cold_artifacts.count("graph.sxg"), 1u);
+  ASSERT_EQ(cold_artifacts.count("assignment.tsv"), 1u);
+
+  std::vector<std::string> responses;
+  int run = 0;
+  for (uint64_t parallelism : {1, 4}) {
+    for (bool compact : {false, true}) {
+      fs::path out = dir_ / ("inc" + std::to_string(run++));
+      service::Server server;
+      std::string load = server.HandleJsonLine(
+          "{\"id\":1,\"verb\":\"load_workspace\",\"params\":{\"name\":"
+          "\"dbg\",\"dir\":\"" + (dir_ / "seed").string() + "\"}}");
+      ASSERT_NE(load.find("\"ok\":true"), std::string::npos) << load;
+      std::string ex = server.HandleJsonLine(
+          "{\"id\":2,\"verb\":\"extract\",\"params\":{\"workspace\":\"dbg\","
+          "\"k\":6,\"parallelism\":" + std::to_string(parallelism) + "}}");
+      ASSERT_NE(ex.find("\"ok\":true"), std::string::npos) << ex;
+      std::string ad = server.HandleJsonLine(
+          "{\"id\":3,\"verb\":\"apply_delta\",\"params\":{\"workspace\":"
+          "\"dbg\",\"compact\":" + std::string(compact ? "true" : "false") +
+          ",\"ops\":" + ops + "}}");
+      ASSERT_NE(ad.find("\"ok\":true"), std::string::npos) << ad;
+      std::string rx = server.HandleJsonLine(
+          "{\"id\":4,\"verb\":\"re_extract\",\"params\":{\"workspace\":"
+          "\"dbg\",\"parallelism\":" + std::to_string(parallelism) +
+          ",\"save_dir\":\"" + out.string() + "\"}}");
+      ASSERT_NE(rx.find("\"ok\":true"), std::string::npos) << rx;
+
+      rx = StripTimings(rx);
+      size_t at = rx.find(out.string());
+      ASSERT_NE(at, std::string::npos) << rx;
+      rx.replace(at, out.string().size(), "<save_dir>");
+      responses.push_back(std::move(rx));
+
+      auto artifacts = ReadDirBytes(out);
+      ASSERT_EQ(artifacts.size(), cold_artifacts.size());
+      for (const auto& [name, bytes] : cold_artifacts) {
+        ASSERT_EQ(artifacts.count(name), 1u) << name;
+        EXPECT_EQ(bytes, artifacts.at(name))
+            << name << " drifted from the cold extraction (p="
+            << parallelism << ", compact=" << compact << ")";
+      }
+    }
+  }
+  // The re_extract responses (timings stripped) must agree with each
+  // other across parallelism and overlay-vs-compacted forms: same k,
+  // types, defect, recast counts, and incremental stats.
+  ASSERT_NE(responses[0].find("\"incremental\""), std::string::npos)
+      << responses[0];
+  for (size_t i = 1; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[0], responses[i])
+        << "re_extract response drifted (run 0 vs run " << i << ")";
+  }
+}
+
 TEST_F(DeterminismTest, SchemaTextIdenticalAcrossIndependentExtractions) {
   // Independent dataset builds + extractions (sequential vs 4 workers)
   // must serialize to the same datalog text.

@@ -41,6 +41,9 @@ EXPECTED = {
     ("src/demo/view_escape_bad.h", 32, "view-escape"),
     ("src/demo/view_escape_bad.h", 33, "view-escape"),
     ("src/demo/view_escape_bad.h", 37, "view-escape"),
+    ("src/graph/overlay_span_bad.h", 38, "view-escape"),
+    ("src/graph/overlay_span_bad.h", 39, "view-escape"),
+    ("src/graph/overlay_span_bad.h", 43, "view-escape"),
     ("src/demo/rand_bad.cc", 11, "unseeded-randomness"),
     ("src/demo/rand_bad.cc", 17, "unseeded-randomness"),
     ("src/demo/rand_bad.cc", 21, "unseeded-randomness"),
@@ -54,6 +57,7 @@ MUST_BE_SILENT = (
     "src/typing/nondet_iter_good.cc",
     "src/cluster/sort_ties_good.cc",
     "src/demo/view_escape_good.h",
+    "src/graph/overlay_span_good.h",
     "bench/bench_skip_ok.cc",
     "tests/test_out_of_scope.cc",
 )
@@ -62,6 +66,7 @@ BAD_FILES = (
     "src/typing/nondet_iter_bad.cc",
     "src/cluster/sort_ties_bad.cc",
     "src/demo/view_escape_bad.h",
+    "src/graph/overlay_span_bad.h",
     "src/demo/rand_bad.cc",
     "src/demo/skip_in_src_bad.cc",
 )

@@ -1,0 +1,48 @@
+// Planted view-escape violations, overlay flavored: adjacency rows and
+// atomic values sliced out of a DeltaOverlay and stored in members with
+// no OWNER annotation naming the keep-alive, plus a row summed inside a
+// by-reference lambda handed to a pool.
+#ifndef GRAPH_OVERLAY_SPAN_BAD_H_
+#define GRAPH_OVERLAY_SPAN_BAD_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace graph_demo {
+
+struct HalfEdge {
+  uint32_t label;
+  uint32_t other;
+};
+
+struct DeltaOverlay {
+  std::span<const HalfEdge> OutEdges(uint32_t o) const;
+  std::string_view Value(uint32_t o) const;
+};
+
+struct Pool {
+  template <typename F>
+  void Submit(F&& fn) { fn(); }
+};
+
+// Caches overlay reads without naming what keeps the overlay alive:
+// both members dangle once the overlay rematerializes the row (any
+// later mutation of the same object) or is destroyed.
+class RowCache {
+ public:
+  RowCache(const DeltaOverlay& ov, uint32_t o)
+      : row_(ov.OutEdges(o)), value_(ov.Value(o)) {}
+
+ private:
+  std::span<const HalfEdge> row_;  // VIOLATION line 38
+  std::string_view value_;  // VIOLATION line 39
+};
+
+inline void SumRow(Pool& pool, const DeltaOverlay& ov, long& acc) {
+  pool.Submit([&] { acc += long(ov.OutEdges(0).size()); });  // VIOLATION 43
+}
+
+}  // namespace graph_demo
+
+#endif  // GRAPH_OVERLAY_SPAN_BAD_H_

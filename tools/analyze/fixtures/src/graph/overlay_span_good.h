@@ -1,0 +1,53 @@
+// Clean overlay-view handling: every stored row or value names its
+// keep-alive with an OWNER annotation, and pool work captures the
+// overlay by shared_ptr. Must produce zero findings.
+#ifndef GRAPH_OVERLAY_SPAN_GOOD_H_
+#define GRAPH_OVERLAY_SPAN_GOOD_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace graph_demo {
+
+struct HalfEdge {
+  uint32_t label;
+  uint32_t other;
+};
+
+struct DeltaOverlay {
+  std::span<const HalfEdge> OutEdges(uint32_t o) const;
+  std::string_view Value(uint32_t o) const;
+};
+
+struct Pool {
+  template <typename F>
+  void Submit(F&& fn) { fn(); }
+};
+
+// Pins the overlay it slices: the shared_ptr member outlives the views,
+// and the row is re-read after any mutation (generation-checked by the
+// caller), so neither view outlives its backing storage.
+class PinnedRowCache {
+ public:
+  PinnedRowCache(std::shared_ptr<const DeltaOverlay> ov, uint32_t o)
+      : overlay_(std::move(ov)),
+        row_(overlay_->OutEdges(o)),
+        value_(overlay_->Value(o)) {}
+
+ private:
+  std::shared_ptr<const DeltaOverlay> overlay_;
+  std::span<const HalfEdge> row_;  // OWNER: overlay_ — row backed by it
+  // OWNER: overlay_ — the atomic's bytes live in the overlay's store.
+  std::string_view value_;
+};
+
+inline void SumRow(Pool& pool, std::shared_ptr<const DeltaOverlay> ov,
+                   std::shared_ptr<long> acc) {
+  pool.Submit([ov, acc] { *acc += long(ov->OutEdges(0).size()); });
+}
+
+}  // namespace graph_demo
+
+#endif  // GRAPH_OVERLAY_SPAN_GOOD_H_

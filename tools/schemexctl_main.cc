@@ -19,6 +19,16 @@
 //       --stage1 refinement|gfp, --parallelism N (0 = server default,
 //       1 = sequential reference path), --save-dir DIR.
 //
+//   schemexctl --connect HOST:PORT --apply-delta WORKSPACE --ops '<json>'
+//       build and send one apply_delta request; --ops takes the ops
+//       array (e.g. '[{"op":"add_link","from":0,"to":3,"label":"x"}]'),
+//       --compact folds the overlay after the batch.
+//
+//   schemexctl --connect HOST:PORT --re-extract WORKSPACE
+//       build and send one re_extract request (incremental
+//       re-extraction). Takes --k, --parallelism, --save-dir like
+//       --extract; k 0 reuses the cached run's k.
+//
 // Flags:
 //   --timeout S   per-response wait budget in seconds (default 30)
 
@@ -41,7 +51,9 @@ using schemex::service::TcpClient;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT\n"
-               "          ('<json-request>' | --stdin | --extract WORKSPACE)\n"
+               "          ('<json-request>' | --stdin | --extract WORKSPACE\n"
+               "           | --apply-delta WORKSPACE --ops JSON [--compact]\n"
+               "           | --re-extract WORKSPACE)\n"
                "          [--timeout S] [--k N] [--stage1 refinement|gfp]\n"
                "          [--parallelism N] [--save-dir DIR]\n",
                argv0);
@@ -72,6 +84,10 @@ int main(int argc, char** argv) {
   std::string extract_stage1;
   uint64_t extract_parallelism = 0;
   std::string extract_save_dir;
+  std::string apply_delta_workspace;
+  std::string apply_delta_ops;
+  bool apply_delta_compact = false;
+  std::string re_extract_workspace;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -116,6 +132,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       extract_save_dir = v;
+    } else if (arg == "--apply-delta") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      apply_delta_workspace = v;
+    } else if (arg == "--ops") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      apply_delta_ops = v;
+    } else if (arg == "--compact") {
+      apply_delta_compact = true;
+    } else if (arg == "--re-extract") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      re_extract_workspace = v;
     } else if (!arg.empty() && arg[0] != '-' && request.empty()) {
       request = arg;
     } else {
@@ -141,6 +171,46 @@ int main(int argc, char** argv) {
     std::map<std::string, Value> top;
     top["id"] = JsonUint(1);
     top["verb"] = Value::String("extract");
+    top["params"] = Value::Object(std::move(params));
+    request = schemex::json::Serialize(Value::Object(std::move(top)));
+  }
+  if (!apply_delta_workspace.empty()) {
+    if (from_stdin || !request.empty()) return Usage(argv[0]);
+    if (apply_delta_ops.empty()) {
+      std::fprintf(stderr, "--apply-delta needs --ops '<json array>'\n");
+      return 2;
+    }
+    // Parse the ops array locally so a typo fails here with a parse
+    // error, not as a server-side rejection of the whole batch.
+    auto ops = schemex::json::Parse(apply_delta_ops);
+    if (!ops.ok()) {
+      std::fprintf(stderr, "--ops: %s\n", ops.status().ToString().c_str());
+      return 2;
+    }
+    std::map<std::string, Value> params;
+    params["workspace"] = Value::String(apply_delta_workspace);
+    params["ops"] = *std::move(ops);
+    if (apply_delta_compact) params["compact"] = Value::Bool(true);
+    std::map<std::string, Value> top;
+    top["id"] = JsonUint(1);
+    top["verb"] = Value::String("apply_delta");
+    top["params"] = Value::Object(std::move(params));
+    request = schemex::json::Serialize(Value::Object(std::move(top)));
+  }
+  if (!re_extract_workspace.empty()) {
+    if (from_stdin || !request.empty()) return Usage(argv[0]);
+    std::map<std::string, Value> params;
+    params["workspace"] = Value::String(re_extract_workspace);
+    params["k"] = JsonUint(extract_k);
+    if (extract_parallelism != 0) {
+      params["parallelism"] = JsonUint(extract_parallelism);
+    }
+    if (!extract_save_dir.empty()) {
+      params["save_dir"] = Value::String(extract_save_dir);
+    }
+    std::map<std::string, Value> top;
+    top["id"] = JsonUint(1);
+    top["verb"] = Value::String("re_extract");
     top["params"] = Value::Object(std::move(params));
     request = schemex::json::Serialize(Value::Object(std::move(top)));
   }
